@@ -1,0 +1,81 @@
+"""Ablation: the Equation 3 internal-bandwidth floor, measured.
+
+Section 3.3: internal bandwidth must be at least ``R*k + 2*p*k``
+tiles/cycle — CAKE trades external bandwidth for internal bandwidth, so a
+machine that cannot grow its LLC-to-core port with core count stops
+scaling (the mechanism the paper uses to explain the Intel and ARM
+deviations in Figures 10 and 11). Here the packet simulator's local
+memory port is throttled through the floor: below it, throughput tracks
+the port rate; above it, compute binds and extra internal bandwidth buys
+nothing.
+"""
+
+import numpy as np
+
+from repro.archsim import CakeSystem
+from repro.bench.report import ExperimentReport
+
+from .conftest import RESULTS_DIR
+
+
+def _internal_bw_report() -> ExperimentReport:
+    rep = ExperimentReport(
+        "ablation-internal-bw",
+        "Measured throughput vs internal bandwidth (Eq. 3, Section 3.3)",
+    )
+    rows, cols = 4, 4
+    # Steady-state port demand: cols B-tiles + 2*rows partial transfers
+    # per cycle — the Eq. 3 floor for this grid.
+    floor = cols + 2 * rows
+    rng = np.random.default_rng(8)
+    size = 24
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+
+    out_rows = []
+    data = {}
+    for frac in (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0):
+        int_bw = floor * frac
+        system = CakeSystem(
+            rows, cols, ext_bw_tiles_per_cycle=64.0,
+            int_bw_tiles_per_cycle=int_bw,
+        )
+        report = system.run_matmul(a, b)
+        np.testing.assert_allclose(report.c, a @ b, rtol=1e-10)
+        throughput = size**3 / report.total_cycles
+        data[frac] = {
+            "throughput": throughput,
+            "grid_utilisation": report.grid_utilisation,
+        }
+        out_rows.append(
+            [
+                f"{frac:.2f}x floor ({int_bw:.0f} tiles/cyc)",
+                f"{report.total_cycles:.0f}",
+                f"{throughput:.2f}",
+                f"{report.grid_utilisation:.0%}",
+            ]
+        )
+    rep.add_table(
+        ["internal bandwidth", "cycles", "MACs/cycle", "grid busy"], out_rows
+    )
+    rep.add_line(f"Eq. 3 floor for a {rows}x{cols} grid: {floor} tiles/cycle")
+    rep.data["points"] = data
+    rep.data["floor"] = floor
+    return rep
+
+
+def test_internal_bandwidth_floor(benchmark):
+    report = benchmark.pedantic(_internal_bw_report, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation-internal-bw.txt").write_text(report.text())
+    print()
+    print(report.text())
+    pts = report.data["points"]
+
+    # Starved region: throughput roughly proportional to the port rate.
+    assert pts[0.5]["throughput"] > 1.7 * pts[0.25]["throughput"]
+    # Past the floor (with queueing headroom): saturation.
+    assert pts[4.0]["throughput"] < 1.15 * pts[1.5]["throughput"]
+    # And a saturated grid is compute-busy, a starved one is not.
+    assert pts[4.0]["grid_utilisation"] > 0.9
+    assert pts[0.25]["grid_utilisation"] < 0.35

@@ -1,0 +1,19 @@
+"""Ablation: the LRU sizing rule ``C + 2(A+B) <= S`` of Section 4.3.
+
+Blocks sized to the rule keep DRAM traffic near the operand minimum;
+oversizing (filling the cache completely) triggers LRU thrash and a
+measurable jump in DRAM traffic in the trace-driven hierarchy.
+"""
+
+from .conftest import run_and_emit
+
+
+def test_ablation_lru_sizing(benchmark):
+    report = run_and_emit(benchmark, "ablation-lru")
+    dram = report.data["dram"]
+
+    rule = dram["rule (Sec 4.3)"]
+    # Oversized blocks thrash: external traffic jumps well above rule.
+    assert dram["rule x1.5"] > rule * 1.3
+    # Undersized blocks are safe but not catastrophic either way.
+    assert dram["half rule"] < dram["rule x1.5"]

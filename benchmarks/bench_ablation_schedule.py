@@ -1,0 +1,16 @@
+"""Ablation: external IO of the K-first schedule vs alternatives (Sec 2.2)."""
+
+from .conftest import run_and_emit
+
+
+def test_ablation_schedule(benchmark):
+    report = run_and_emit(benchmark, "ablation-schedule")
+    totals = report.data["totals"]
+
+    # K-first is the minimum among all implemented orders.
+    assert totals["k-first"] == min(totals.values())
+    # Non-reduction-first orders pay for partial-result round-trips.
+    assert totals["m-first"] > totals["k-first"] * 1.2
+    assert totals["n-first"] > totals["k-first"] * 1.2
+    # The naive (non-flipping) order loses only the turn reuses.
+    assert totals["k-first"] < totals["naive"] <= totals["m-first"]

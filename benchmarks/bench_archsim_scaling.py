@@ -1,0 +1,87 @@
+"""Figure 4, measured: constant-bandwidth scaling in the packet simulator.
+
+The analytic Figure 4 bench shows Eq. 2's bandwidth floor is independent
+of core count. This bench *measures* the same claim on the discrete-event
+machine: grids of 4, 8 and 16 cores run proportionally larger CB blocks
+(Figure 4's (a)->(c) growth) against the SAME external link, and
+throughput (MACs/cycle) must scale with the grid while the link stays
+below saturation. This also exercises Section 6.2's reconfigurability
+point — growing the machine is just a constructor argument.
+"""
+
+import numpy as np
+
+from repro.bench.report import ExperimentReport
+from repro.archsim import CakeSystem
+
+from .conftest import RESULTS_DIR
+
+
+def _scaling_report() -> ExperimentReport:
+    rep = ExperimentReport(
+        "archsim-scaling",
+        "Measured CB scaling at fixed external bandwidth (Figure 4 in the DES)",
+    )
+    k = 2
+    ext_bw = 2.0 * (1.0 + 1.0) * k  # twice Eq. 2's floor for alpha=1
+    rng = np.random.default_rng(2)
+    size = 48
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+
+    rows_list = (2, 4, 8)
+    rows_out = []
+    data = {}
+    for rows in rows_list:
+        system = CakeSystem(
+            rows, k, ext_bw_tiles_per_cycle=ext_bw, n_block=rows
+        )
+        report = system.run_matmul(a, b)
+        np.testing.assert_allclose(report.c, a @ b, rtol=1e-10)
+        throughput = size**3 / report.total_cycles  # MACs per cycle
+        data[rows] = {
+            "cores": rows * k,
+            "throughput": throughput,
+            "link_utilisation": report.external_link_utilisation,
+            "grid_utilisation": report.grid_utilisation,
+            "cycles": report.total_cycles,
+        }
+        rows_out.append(
+            [
+                rows * k,
+                f"{rows} x {rows} x {k}",
+                f"{report.total_cycles:.0f}",
+                f"{throughput:.2f}",
+                f"{report.external_link_utilisation:.0%}",
+                f"{report.grid_utilisation:.0%}",
+            ]
+        )
+    rep.add_table(
+        ["cores", "CB block (tiles)", "cycles", "MACs/cycle",
+         "ext link busy", "grid busy"],
+        rows_out,
+    )
+    rep.add_line(
+        f"external link fixed at {ext_bw:g} tiles/cycle for every grid"
+    )
+    rep.data["points"] = data
+    return rep
+
+
+def test_measured_constant_bandwidth_scaling(benchmark):
+    report = benchmark.pedantic(_scaling_report, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "archsim-scaling.txt").write_text(report.text())
+    print()
+    print(report.text())
+    pts = report.data["points"]
+
+    # Throughput grows with the grid (at least 1.6x per doubling) ...
+    assert pts[4]["throughput"] > 1.6 * pts[2]["throughput"]
+    assert pts[8]["throughput"] > 1.6 * pts[4]["throughput"]
+    # ... while the SAME external link never saturates: the measured
+    # constant-bandwidth property.
+    for rows, p in pts.items():
+        assert p["link_utilisation"] < 1.0, rows
+    # The largest grid still keeps its cores mostly busy.
+    assert pts[8]["grid_utilisation"] > 0.6

@@ -1,0 +1,17 @@
+"""Section 6.2: the packet-based architecture simulator versus theory.
+
+The simulator validates the CB block design under varying external
+bandwidth: measured cycles must track ``max(compute, IO/BW)`` across the
+Eq. 2 crossover, and the streamed result must equal A @ B exactly.
+"""
+
+from .conftest import run_and_emit
+
+
+def test_archsim_validation(benchmark):
+    report = run_and_emit(benchmark, "archsim")
+    errors = report.data["errors"]
+
+    # Measured time within 15% of the closed form at every bandwidth.
+    for bw, err in errors.items():
+        assert abs(err) < 0.15, (bw, err)

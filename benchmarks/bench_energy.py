@@ -1,0 +1,71 @@
+"""Extension bench: the energy side of the constant-bandwidth trade.
+
+The paper's conclusion argues for the CAKE trade partly on power: "DRAM
+has relatively high latency and power consumption". This bench quantifies
+it with the data-movement energy model: across the three platforms, CAKE
+buys its constant DRAM bandwidth with internal traffic that costs an
+order of magnitude less per byte.
+"""
+
+import pytest
+
+from repro.bench.report import ExperimentReport
+from repro.gemm import CakeGemm, GotoGemm
+from repro.machines import amd_ryzen_9_5950x, arm_cortex_a53, intel_i9_10900k
+from repro.perfmodel import estimate_energy
+
+from .conftest import RESULTS_DIR
+
+
+def _energy_report() -> ExperimentReport:
+    rep = ExperimentReport(
+        "energy", "Data-movement energy, CAKE vs GOTO (extension)"
+    )
+    rows = []
+    data = {}
+    for machine, n in (
+        (intel_i9_10900k(), 4608),
+        (amd_ryzen_9_5950x(), 4608),
+        (arm_cortex_a53(), 1536),
+    ):
+        cake = estimate_energy(CakeGemm(machine).analyze(n, n, n))
+        goto = estimate_energy(GotoGemm(machine).analyze(n, n, n))
+        data[machine.name] = (cake, goto)
+        rows.append(
+            [
+                machine.name,
+                n,
+                f"{cake.total_joules:.2f}",
+                f"{goto.total_joules:.2f}",
+                f"{cake.dram_fraction:.0%}",
+                f"{goto.dram_fraction:.0%}",
+                f"{cake.gflops_per_watt:.1f}",
+                f"{goto.gflops_per_watt:.1f}",
+            ]
+        )
+    rep.add_table(
+        [
+            "machine", "n",
+            "CAKE J", "GOTO J",
+            "CAKE DRAM share", "GOTO DRAM share",
+            "CAKE GF/W", "GOTO GF/W",
+        ],
+        rows,
+    )
+    rep.data["energy"] = data
+    return rep
+
+
+def test_energy_trade(benchmark):
+    report = benchmark.pedantic(_energy_report, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "energy.txt").write_text(report.text())
+    print()
+    print(report.text())
+
+    for name, (cake, goto) in report.data["energy"].items():
+        # CAKE always spends less on DRAM and less in total.
+        assert cake.dram_joules < goto.dram_joules, name
+        assert cake.total_joules < goto.total_joules, name
+        # GOTO's energy is dominated by DRAM far more than CAKE's.
+        assert cake.dram_fraction < goto.dram_fraction, name

@@ -1,0 +1,41 @@
+"""Figure 10: Intel i9-10900K, 23040x23040 MM — the headline Intel result.
+
+Paper claims: (a) CAKE's DRAM bandwidth stays near the Eq. 4 optimum
+(~4.5 GB/s observed of 40 available) while MKL's climbs toward 25 GB/s;
+(b) CAKE reaches within a few percent of MKL's throughput; extrapolated
+beyond 10 cores with fixed DRAM bandwidth, MKL plateaus while CAKE keeps
+scaling; (c) internal bandwidth stops scaling past ~6 cores, nudging
+CAKE's DRAM usage slightly above optimal at 9-10 cores.
+"""
+
+from .conftest import run_and_emit
+
+
+def test_fig10_intel_scaling(benchmark):
+    report = run_and_emit(benchmark, "fig10")
+    points = {pt.cores: pt for pt in report.data["points"]}
+    measured = [pt for pt in report.data["points"] if not pt.extrapolated]
+
+    # (a) CAKE DRAM bandwidth ~constant; MKL's grows with cores.
+    cake_bws = [pt.cake.dram_gb_per_s for pt in measured]
+    goto_bws = [pt.goto.dram_gb_per_s for pt in measured]
+    assert max(cake_bws) / min(cake_bws) < 2.0
+    assert goto_bws[-1] / goto_bws[0] > 5.0
+    # Absolute scale matches the paper's panel: CAKE a few GB/s, MKL ~25.
+    assert 2.0 < points[10].cake.dram_gb_per_s < 8.0
+    assert 18.0 < points[10].goto.dram_gb_per_s < 32.0
+
+    # (b) throughput parity at 10 cores (paper: within 3%; we allow 15%).
+    ratio = points[10].cake.gflops / points[10].goto.gflops
+    assert 0.85 < ratio < 1.25
+    # Extrapolated to 20 cores: MKL is DRAM-capped, CAKE keeps scaling.
+    assert points[20].cake.gflops > points[20].goto.gflops * 1.15
+    assert points[20].cake.gflops > points[10].cake.gflops * 1.6
+
+    # (c) CAKE's observed bandwidth sits at or above the Eq. 4 optimum,
+    # drifting further above it at high core counts (internal-BW knee).
+    for pt in measured:
+        assert pt.cake.dram_gb_per_s >= pt.cake_optimal_dram_gb_per_s * 0.95
+    excess_10 = points[10].cake.dram_gb_per_s / points[10].cake_optimal_dram_gb_per_s
+    excess_4 = points[4].cake.dram_gb_per_s / points[4].cake_optimal_dram_gb_per_s
+    assert excess_10 > excess_4

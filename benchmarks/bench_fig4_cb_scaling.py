@@ -1,0 +1,18 @@
+"""Figure 4: CB blocks hold external bandwidth constant as cores grow."""
+
+from .conftest import run_and_emit
+
+
+def test_fig4_constant_bandwidth(benchmark):
+    report = run_and_emit(benchmark, "fig4")
+    bws = report.data["bandwidths"]
+    ais = report.data["intensities"]
+    mems = report.data["memories"]
+
+    # The headline: required external bandwidth identical at every scale.
+    assert len(set(bws)) == 1
+    # Arithmetic intensity strictly increases with core count ...
+    assert all(b > a for a, b in zip(ais, ais[1:]))
+    # ... and local memory grows superlinearly (the p^2 term of Eq. 1).
+    growth = [b / a for a, b in zip(mems, mems[1:])]
+    assert all(g > 2.0 for g in growth)  # cores double each step

@@ -1,0 +1,25 @@
+"""Figure 7a: memory-request stalls per level on the Intel i9.
+
+Paper claims: with CAKE the CPU is most often stalled on *local* memory
+levels; with MKL, on main memory — even though MKL's total throughput at
+this size is comparable.
+"""
+
+from .conftest import run_and_emit
+
+
+def test_fig7a_stall_profile(benchmark):
+    report = run_and_emit(benchmark, "fig7a")
+    cake = report.data["cake"]
+    goto = report.data["goto"]
+
+    # CAKE stalls mostly locally; GOTO mostly on DRAM.
+    assert cake.local_stall_fraction > 0.5
+    assert goto.local_stall_fraction < 0.3
+    # GOTO spends several times longer stalled on main memory.
+    assert goto.stall_profile["DRAM"] > 2 * cake.stall_profile["DRAM"]
+    # CAKE spends more absolute time stalled on local memory than GOTO
+    # spends on local memory (the demand shifted inward, not vanished).
+    cake_local = sum(v for k, v in cake.stall_profile.items() if k != "DRAM")
+    goto_local = sum(v for k, v in goto.stall_profile.items() if k != "DRAM")
+    assert cake_local > goto_local

@@ -1,0 +1,20 @@
+"""Figure 7b: cache and DRAM access counts on the ARM Cortex-A53.
+
+Paper claims: CAKE shifts memory demand to internal levels; ARMPL
+performs ~2.5x more DRAM requests.
+"""
+
+from .conftest import run_and_emit
+
+
+def test_fig7b_access_profile(benchmark):
+    report = run_and_emit(benchmark, "fig7b")
+    cake = report.data["cake"]
+    goto = report.data["goto"]
+
+    # The paper's ~2.5x DRAM-request multiplier (we accept >= 2x).
+    assert report.data["dram_ratio"] >= 2.0
+    # CAKE serves more requests from the shared L2 (the ARM LLC).
+    assert cake.l2_hits > goto.l2_hits
+    # And fewer of CAKE's requests fall through to DRAM overall.
+    assert cake.dram_accesses < goto.dram_accesses

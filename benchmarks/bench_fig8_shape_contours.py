@@ -1,0 +1,27 @@
+"""Figure 8: relative throughput of CAKE vs MKL(GOTO) over matrix shapes.
+
+Paper claims: as any dimension shrinks, the MM becomes memory-bound and
+CAKE's advantage grows; the darkest (>=2x) contours sit at the smallest
+sizes, and large near-square problems approach parity.
+"""
+
+from .conftest import run_and_emit
+
+
+def test_fig8_shape_regions(benchmark):
+    report = run_and_emit(benchmark, "fig8")
+    panels = report.data["panels"]
+
+    square = panels[1.0]
+    # Small matrices: a clear CAKE win (paper: 1.25-2x contour region).
+    assert square.ratio_at(1000, 1000) >= 1.3
+    # The advantage at the smallest size exceeds the largest-size ratio.
+    assert square.ratio_at(1000, 1000) > square.ratio_at(8000, 8000)
+    # Large sizes approach parity (within the paper's 1.0-1.25 band).
+    assert 0.9 <= square.ratio_at(8000, 8000) <= 1.3
+
+    # Every panel keeps a region where CAKE wins by >= 1.25x, and CAKE
+    # wins outright over most of every panel's grid.
+    for aspect, panel in panels.items():
+        assert panel.fraction_above(1.25) > 0.0, f"aspect {aspect}"
+        assert panel.fraction_above(1.0) > 0.5, f"aspect {aspect}"

@@ -1,0 +1,32 @@
+"""Figure 9a: speedup vs cores for square matrices on the Intel i9.
+
+Paper claims: CAKE's speedup improvement over MKL is more pronounced for
+small matrices; MKL approaches CAKE as size grows.
+"""
+
+from .conftest import run_and_emit
+
+
+def test_fig9a_intel_speedup(benchmark):
+    report = run_and_emit(benchmark, "fig9a")
+    series = report.data["series"]
+
+    for n, (cake, goto) in series.items():
+        # At full core count CAKE's speedup beats or matches the
+        # GOTO baseline (small wave-fit flukes allowed up to 5%).
+        assert cake.speedups[-1] >= goto.speedups[-1] * 0.95, n
+        # Both engines actually scale (speedup > 1.5 at full cores).
+        assert cake.speedups[-1] > 1.5
+
+    # The advantage shrinks with size: MKL approaches CAKE.
+    def advantage(n):
+        cake, goto = series[n]
+        return cake.speedups[-1] / goto.speedups[-1]
+
+    sizes = sorted(series)
+    assert advantage(sizes[0]) >= advantage(sizes[-1]) * 0.95
+    # At the smallest size, MKL's fixed strips leave cores idle and its
+    # speedup is far from ideal while CAKE's keeps climbing.
+    cake_small, goto_small = series[sizes[0]]
+    assert goto_small.speedups[-1] < 0.75 * cake_small.cores[-1]
+    assert cake_small.speedups[-1] > goto_small.speedups[-1] * 1.3

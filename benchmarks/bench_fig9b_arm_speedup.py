@@ -1,0 +1,21 @@
+"""Figure 9b: speedup vs cores for square matrices on the ARM A53.
+
+Paper claims: CAKE outperforms ARMPL consistently for *all* problem
+sizes; ARMPL cannot scale with cores because DRAM bandwidth saturates.
+"""
+
+from .conftest import run_and_emit
+
+
+def test_fig9b_arm_speedup(benchmark):
+    report = run_and_emit(benchmark, "fig9b")
+    series = report.data["series"]
+
+    for n, (cake, goto) in series.items():
+        # CAKE wins at every multi-core point, for every size.
+        for p_idx in range(1, len(cake.cores)):
+            assert cake.speedups[p_idx] >= goto.speedups[p_idx], (n, p_idx)
+        # ARMPL saturates: its 4-core speedup stays close to 2-core.
+        assert goto.speedups[-1] < goto.speedups[1] * 1.25, n
+        # CAKE keeps scaling toward 3x at 4 cores (paper's curve).
+        assert cake.speedups[-1] > 2.5, n

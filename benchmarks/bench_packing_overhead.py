@@ -1,0 +1,22 @@
+"""Section 5.2.1: packing overhead, negligible for square, large for skewed."""
+
+from .conftest import run_and_emit
+
+
+def test_packing_overhead(benchmark):
+    report = run_and_emit(benchmark, "packing")
+    frac = report.data["fractions"]
+
+    # Big square problems amortise packing to a few percent.
+    assert frac["square large"] < 0.06
+    # Shapes skewed in M or N pay a significantly larger packing
+    # fraction (the paper's caveat). Skewed K is excluded: there the
+    # *packed operands themselves* shrink with K, so packing stays cheap
+    # while the overall problem is still memory-unfriendly.
+    for label in ("skewed M", "skewed N"):
+        assert frac[label] > 3 * frac["square large"], label
+    # At least one skewed shape spends >10% of its runtime packing.
+    assert max(frac["skewed M"], frac["skewed N"]) > 0.10
+    # The DNN conv layers (intro workload) land in the skewed regime too.
+    conv_fracs = [v for k, v in frac.items() if k.startswith("conv")]
+    assert max(conv_fracs) > 0.10

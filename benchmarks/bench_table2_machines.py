@@ -1,0 +1,11 @@
+"""Table 2: the evaluated CPU specs, regenerated from the presets."""
+
+from .conftest import run_and_emit
+
+
+def test_table2_machines(benchmark):
+    report = run_and_emit(benchmark, "table2")
+    rows = report.data["machines"]
+    assert len(rows) == 3
+    names = {r[0] for r in rows}
+    assert names == {"Intel i9-10900K", "AMD Ryzen 9 5950X", "ARM v8 Cortex-A53"}

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench runs one experiment generator (the exact code behind a paper
+table/figure), times it with pytest-benchmark, writes the paper-style
+rows to ``benchmarks/results/<id>.txt``, prints them, and asserts the
+figure's qualitative claims (who wins, by what factor, where crossovers
+fall).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench import ExperimentReport, run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_and_emit(benchmark, experiment_id: str, scale: str = "full") -> ExperimentReport:
+    """Benchmark one experiment generator and persist its report."""
+    report = benchmark.pedantic(
+        run_experiment, args=(experiment_id, scale), rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(report.text())
+    print()
+    print(report.text())
+    return report

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The memory wall on a roofline chart, in text.
+
+Draws each platform's roofline (compute roof + bandwidth diagonal) as an
+ASCII sketch and places the CAKE and GOTO operating points on it. The
+story in one picture: CB blocks push the kernel's arithmetic intensity
+rightward — past the ridge, out of the bandwidth-bound region — while
+GOTO's partial-C streaming pins it left of the ridge exactly on the
+machines where bandwidth is scarce.
+
+Run:  python examples/roofline_story.py
+"""
+
+import numpy as np
+
+from repro.analysis import classify_point, operating_point, roofline_curve
+from repro.gemm import CakeGemm, GotoGemm
+from repro.machines import arm_cortex_a53, intel_i9_10900k, nvm_machine
+
+
+def sketch(curve, points, width=58, height=12):
+    """Log-log ASCII roofline with labelled operating points."""
+    ai_lo, ai_hi = curve.intensities[0], curve.intensities[-1]
+    gf_hi = curve.peak_gflops * 1.6
+    gf_lo = min(curve.attainable_gflops[0], *(p.gflops for p in points)) / 2
+
+    def col(ai):
+        return int(np.clip(np.log(ai / ai_lo) / np.log(ai_hi / ai_lo), 0, 1) * (width - 1))
+
+    def row(gf):
+        frac = np.log(gf / gf_lo) / np.log(gf_hi / gf_lo)
+        return (height - 1) - int(np.clip(frac, 0, 1) * (height - 1))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for ai, gf in zip(curve.intensities, curve.attainable_gflops):
+        canvas[row(gf)][col(ai)] = "."
+    for mark, p in zip("CG", points):
+        canvas[row(p.gflops)][col(p.arithmetic_intensity)] = mark
+    lines = ["".join(r) for r in canvas]
+    lines.append("-" * width)
+    lines.append(
+        f"AI {ai_lo:g} ... {ai_hi:g} FLOP/byte   "
+        f"(ridge at {curve.ridge_intensity:.0f})"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    n_by_machine = {
+        "Intel i9-10900K": 4608,
+        "ARM v8 Cortex-A53": 1536,
+        "NVM main-memory system": 4608,
+    }
+    for machine in (intel_i9_10900k(), arm_cortex_a53(), nvm_machine()):
+        n = n_by_machine[machine.name]
+        curve = roofline_curve(machine)
+        cake = operating_point(CakeGemm(machine).analyze(n, n, n), "C")
+        goto = operating_point(GotoGemm(machine).analyze(n, n, n), "G")
+        print(f"== {machine.name} ({n}^2 MM) ==")
+        print(sketch(curve, [cake, goto]))
+        for label, p in (("CAKE (C)", cake), ("GOTO (G)", goto)):
+            print(
+                f"  {label}: AI {p.arithmetic_intensity:7.1f} FLOP/byte, "
+                f"{p.gflops:7.1f} GFLOP/s -> {classify_point(curve, p)}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Inside the cake: block schedules and the packet-level simulator.
+
+Walks the machinery the paper builds up in Sections 2, 3 and 6.2:
+
+1. partitions an MM computation space into CB blocks and compares the
+   external IO of the K-first schedule (Algorithm 2) against the naive
+   and M/N-first alternatives, reproducing the Section 2.2 argument;
+2. executes the same schedule on the packet-based architecture
+   simulator — source-routed tile packets, a core grid with column
+   broadcast and accumulation chains — verifying numerics and showing
+   how measured cycles cross from compute-bound to IO-bound exactly at
+   the Equation 2 bandwidth floor.
+
+Run:  python examples/schedule_explorer.py
+"""
+
+import numpy as np
+
+from repro.archsim import CakeSystem
+from repro.core import CBBlock, external_bandwidth_min
+from repro.schedule import (
+    BlockGrid,
+    ComputationSpace,
+    SCHEDULE_BUILDERS,
+    analyze_reuse,
+)
+
+
+def explore_schedules() -> None:
+    space = ComputationSpace(96, 96, 96)
+    grid = BlockGrid(space, CBBlock(16, 16, 8))
+    print(f"computation space {space.m}x{space.n}x{space.k}, "
+          f"blocks {grid.nominal.m}x{grid.nominal.n}x{grid.nominal.k} "
+          f"-> {grid.mb}x{grid.nb}x{grid.kb} grid\n")
+
+    print(f"{'schedule':>10s}{'A in':>9s}{'B in':>9s}{'C spill':>9s}"
+          f"{'C refetch':>11s}{'total IO':>10s}{'vs k-first':>12s}")
+    base = None
+    for name in ("k-first", "naive", "m-first", "n-first"):
+        io = analyze_reuse(grid, SCHEDULE_BUILDERS[name](grid))
+        if base is None:
+            base = io.io_total
+        print(f"{name:>10s}{io.io_a:9d}{io.io_b:9d}{io.io_c_spill:9d}"
+              f"{io.io_c_refetch:11d}{io.io_total:10d}"
+              f"{io.io_total / base:11.3f}x")
+    print("\nK-first wins: partial results never round-trip through DRAM,"
+          "\nand every boustrophedon turn keeps an input surface resident.\n")
+
+
+def run_packet_simulator() -> None:
+    rows = cols = 4
+    n_block = 4
+    size = 16
+    rng = np.random.default_rng(11)
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+
+    # Eq. 2: BW_min = (alpha+1)/alpha * k tiles/cycle, alpha = n_block/rows.
+    alpha = n_block / rows
+    bw_floor = external_bandwidth_min(cols, max(alpha, 1.0))
+    print(f"{rows}x{cols} core grid, CB blocks {rows}x{n_block}x{cols} tiles; "
+          f"Eq. 2 bandwidth floor = {bw_floor:.1f} tiles/cycle\n")
+
+    print(f"{'ext BW':>8s}{'cycles':>9s}{'vs floor BW':>13s}{'regime':>10s}")
+    floor_cycles = None
+    for bw in (1.0, 2.0, 4.0, bw_floor, 2 * bw_floor, 8 * bw_floor):
+        system = CakeSystem(
+            rows, cols, ext_bw_tiles_per_cycle=bw, n_block=n_block
+        )
+        report = system.run_matmul(a, b)
+        np.testing.assert_allclose(report.c, a @ b, rtol=1e-10)
+        if abs(bw - bw_floor) < 1e-9:
+            floor_cycles = report.total_cycles
+        compute = size ** 3 / (rows * cols)
+        regime = "compute" if report.total_cycles < 1.25 * compute else "IO"
+        rel = "" if floor_cycles is None else f"{report.total_cycles / floor_cycles:10.2f}x"
+        print(f"{bw:8.1f}{report.total_cycles:9.0f}{rel:>13s}{regime:>10s}")
+
+    print("\npast the Eq. 2 floor, extra external bandwidth buys almost"
+          "\nnothing — the block shape already balanced IO with compute."
+          "\n(numerics verified against A @ B at every bandwidth)")
+
+
+def main() -> None:
+    explore_schedules()
+    run_packet_simulator()
+
+
+if __name__ == "__main__":
+    main()

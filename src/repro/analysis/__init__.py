@@ -1,0 +1,40 @@
+"""Analysis helpers behind the evaluation figures.
+
+:mod:`repro.analysis.speedup` — the ``t_1 / t_p`` speedup series of
+Figure 9; :mod:`repro.analysis.scaling` — the core-count sweeps with
+extrapolated machines of Figures 10-12; :mod:`repro.analysis.sweep` — the
+matrix-shape grids behind Figure 8's contours.
+"""
+
+from repro.analysis.speedup import SpeedupSeries, speedup_series
+from repro.analysis.scaling import ScalingPoint, scaling_series
+from repro.analysis.sweep import ShapeSweepResult, relative_throughput_grid
+from repro.analysis.roofline import (
+    RooflineCurve,
+    RooflinePoint,
+    classify_point,
+    operating_point,
+    roofline_curve,
+)
+from repro.analysis.crossover import (
+    Crossover,
+    find_crossover_size,
+    throughput_ratio,
+)
+
+__all__ = [
+    "SpeedupSeries",
+    "speedup_series",
+    "ScalingPoint",
+    "scaling_series",
+    "ShapeSweepResult",
+    "relative_throughput_grid",
+    "RooflineCurve",
+    "RooflinePoint",
+    "classify_point",
+    "operating_point",
+    "roofline_curve",
+    "Crossover",
+    "find_crossover_size",
+    "throughput_ratio",
+]

@@ -1,0 +1,94 @@
+"""Roofline chart data: attainable throughput vs arithmetic intensity.
+
+The classic visualisation of the memory wall, built from a MachineSpec:
+``attainable(AI) = min(peak_compute, AI * DRAM_bandwidth)``. CAKE's whole
+premise in one picture — its CB blocks *move* a kernel's operating point
+rightward (higher AI at constant bandwidth) until it exits the
+bandwidth-limited region, while GOTO's partial-C streaming pins the point
+further left. :func:`operating_point` places a finished
+:class:`~repro.gemm.result.GemmRun` on the chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gemm.result import GemmRun
+from repro.machines.spec import MachineSpec
+from repro.util import require_positive
+
+
+@dataclass(frozen=True, slots=True)
+class RooflinePoint:
+    """One kernel on the roofline chart.
+
+    Whether it is memory- or compute-bound is a property of the chart it
+    sits on, not of the point — see :func:`classify_point`.
+    """
+
+    label: str
+    arithmetic_intensity: float  # FLOPs per DRAM byte
+    gflops: float
+
+
+@dataclass(frozen=True, slots=True)
+class RooflineCurve:
+    """The machine's ceiling: compute roof and bandwidth diagonal."""
+
+    machine_name: str
+    peak_gflops: float
+    dram_gb_per_s: float
+    intensities: tuple[float, ...]
+    attainable_gflops: tuple[float, ...]
+
+    @property
+    def ridge_intensity(self) -> float:
+        """AI at which the diagonal meets the roof (FLOPs/byte)."""
+        return self.peak_gflops / self.dram_gb_per_s
+
+
+def roofline_curve(
+    machine: MachineSpec,
+    *,
+    cores: int | None = None,
+    ai_min: float = 0.125,
+    ai_max: float = 1024.0,
+    points: int = 64,
+) -> RooflineCurve:
+    """Sample the machine's roofline over a log-spaced AI range."""
+    require_positive("ai_min", ai_min)
+    if ai_max <= ai_min:
+        raise ValueError(f"ai_max {ai_max} must exceed ai_min {ai_min}")
+    require_positive("points", points)
+    cores = machine.cores if cores is None else cores
+    peak = machine.peak_gflops(cores)
+    bw = machine.dram_gb_per_s * machine.dram_efficiency
+    ais = np.geomspace(ai_min, ai_max, points)
+    attainable = np.minimum(peak, ais * bw)
+    return RooflineCurve(
+        machine_name=machine.name,
+        peak_gflops=peak,
+        dram_gb_per_s=bw,
+        intensities=tuple(float(x) for x in ais),
+        attainable_gflops=tuple(float(x) for x in attainable),
+    )
+
+
+def operating_point(run: GemmRun, label: str | None = None) -> RooflinePoint:
+    """Place a finished run on the chart (AI from *physical* DRAM bytes)."""
+    return RooflinePoint(
+        label=label or run.engine,
+        arithmetic_intensity=run.arithmetic_intensity,
+        gflops=run.gflops,
+    )
+
+
+def classify_point(curve: RooflineCurve, point: RooflinePoint) -> str:
+    """Which side of the ridge the kernel sits on."""
+    return (
+        "memory-bound"
+        if point.arithmetic_intensity < curve.ridge_intensity
+        else "compute-bound"
+    )

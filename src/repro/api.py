@@ -1,0 +1,61 @@
+"""Top-level convenience API.
+
+Most users want exactly one call: multiply two matrices with the CAKE
+discipline on a modelled machine and look at the throughput/bandwidth
+report. These wrappers construct the engine, run it, and hand back the
+:class:`~repro.gemm.result.GemmRun`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gemm.cake import CakeGemm
+from repro.gemm.goto import GotoGemm
+from repro.gemm.result import GemmRun
+from repro.machines.presets import intel_i9_10900k
+from repro.machines.spec import MachineSpec
+
+
+def cake_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    machine: MachineSpec | None = None,
+    cores: int | None = None,
+    alpha: float | None = None,
+) -> GemmRun:
+    """Multiply ``a @ b`` with the CAKE engine.
+
+    Parameters
+    ----------
+    a, b:
+        2-D operands with matching inner dimension.
+    machine:
+        Platform model (default: the Intel i9-10900K of Table 2).
+    cores:
+        Cores to use (default: all the machine has).
+    alpha:
+        CB aspect factor; ``None`` derives it from DRAM bandwidth per
+        Section 3.2.
+
+    Returns
+    -------
+    GemmRun
+        ``run.c`` is the product; ``run.gflops`` / ``run.dram_gb_per_s``
+        are the modelled metrics.
+    """
+    machine = intel_i9_10900k() if machine is None else machine
+    return CakeGemm(machine, cores=cores, alpha=alpha).multiply(a, b)
+
+
+def goto_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    machine: MachineSpec | None = None,
+    cores: int | None = None,
+) -> GemmRun:
+    """Multiply ``a @ b`` with the GOTO baseline engine (MKL/ARMPL model)."""
+    machine = intel_i9_10900k() if machine is None else machine
+    return GotoGemm(machine, cores=cores).multiply(a, b)

@@ -1,0 +1,42 @@
+"""Packet-based discrete-event architecture simulator (Section 6.2).
+
+The paper's authors built a SystemC/MatchLib simulator to validate the CB
+block design and execution schedule before writing the CPU library; this
+package plays the same role. It models the Section 3 abstract machine —
+external memory, a local memory, and a grid of cores (Figure 3b) — at tile
+granularity with event-driven timing:
+
+* all communication uses standardised :class:`~repro.archsim.packet.Packet`
+  objects with source-routing headers and tile/block indices, exactly as
+  Section 6.2 describes;
+* external memory streams A and B tile packets at a configurable external
+  bandwidth (tiles/cycle);
+* the local memory forwards A tiles to their cores, broadcasts each B tile
+  to a whole column of cores, buffers partial-result surfaces between
+  blocks of a reduction run, and writes completed C tiles back;
+* each core holds one stationary A tile, multiplies one streamed B tile
+  per cycle, and passes partial results down an accumulation chain toward
+  the back of the computation space.
+
+Because packets carry real values, a simulation yields the actual product
+— numerical correctness of the schedule is *checked*, not assumed — while
+the event clock yields block execution times that tests compare against
+the closed-form Section 3 predictions (compute time ``n`` cycles vs IO
+time ``(IO_A + IO_B) / BW_ext``).
+
+Changing the core-grid size is a constructor argument, reflecting the
+paper's point that packet scheduling makes the architecture easy to
+reconfigure.
+"""
+
+from repro.archsim.event_queue import Simulator
+from repro.archsim.packet import Packet
+from repro.archsim.system import BlockRunStats, CakeSystem, SystemReport
+
+__all__ = [
+    "Simulator",
+    "Packet",
+    "BlockRunStats",
+    "CakeSystem",
+    "SystemReport",
+]

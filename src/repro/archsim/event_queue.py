@@ -1,0 +1,66 @@
+"""The discrete-event core: a time-ordered callback queue.
+
+Deliberately minimal — the SystemC role here is just "run callbacks in
+timestamp order with a stable tie-break". Determinism matters for
+reproducibility: ties are broken by insertion sequence, so a simulation is
+a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class Simulator:
+    """Event queue with a monotonically advancing clock (in cycles)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.events_processed: int = 0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at absolute ``time`` (>= now)."""
+        if time < self.now - 1e-9:
+            raise SimulationError(
+                f"event scheduled at {time} but the clock is already at {self.now}"
+            )
+        heapq.heappush(self._queue, (time, self._seq, fn))
+        self._seq += 1
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` ``delay`` cycles from now (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self.now + delay, fn)
+
+    def run(
+        self, *, until: float = math.inf, max_events: int = 50_000_000
+    ) -> float:
+        """Drain the queue (up to ``until``); returns the final clock.
+
+        ``max_events`` is a runaway guard: exceeding it raises
+        :class:`~repro.errors.SimulationError` instead of hanging.
+        """
+        processed = 0
+        while self._queue and self._queue[0][0] <= until:
+            time, _, fn = heapq.heappop(self._queue)
+            self.now = max(self.now, time)
+            fn()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events — likely livelock"
+                )
+        self.events_processed += processed
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)

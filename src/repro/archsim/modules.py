@@ -1,0 +1,258 @@
+"""Simulated hardware modules: external memory, local memory, cores.
+
+Module contract: the system delivers packets to :meth:`Module.receive` in
+timestamp order; modules react by scheduling further sends through the
+system. All inter-module transfers go through
+:meth:`~repro.archsim.system.CakeSystem.send`, which honours each packet's
+source route — no module knows the topology beyond the routes written
+into the packets it originates (Section 6.2's modularity argument).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.archsim.packet import Packet
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.archsim.system import CakeSystem
+
+
+class Module:
+    """Base class: a named packet sink attached to a system."""
+
+    def __init__(self, name: str, system: "CakeSystem") -> None:
+        self.name = name
+        self.system = system
+
+    def receive(self, pkt: Packet) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ExternalMemory(Module):
+    """DRAM: originates input tiles, absorbs results, meters bandwidth.
+
+    A single outgoing serialiser enforces the configured external
+    bandwidth: packet ``i`` departs no earlier than the previous packet's
+    departure plus ``elements / bw`` cycles — the constant-rate streaming
+    the CB analysis assumes.
+    """
+
+    def __init__(self, name: str, system: "CakeSystem", bw_tiles_per_cycle: float) -> None:
+        super().__init__(name, system)
+        if bw_tiles_per_cycle <= 0:
+            raise ValueError("external bandwidth must be positive")
+        self.bw = bw_tiles_per_cycle
+        self.tiles_sent = 0
+        self.tiles_received = 0
+        self.results: dict[tuple[int, int], float] = {}
+
+    def receive(self, pkt: Packet) -> None:
+        if pkt.kind != "C":
+            raise SimulationError(
+                f"external memory received unexpected {pkt.kind} packet"
+            )
+        self.tiles_received += pkt.elements
+        self.results[(pkt.row, pkt.t)] = pkt.value
+
+
+class LocalMemory(Module):
+    """The shared local memory (LLC analogue) of Figure 1 / Section 3.
+
+    Forwards A tiles to their cores, broadcasts B tiles down core
+    columns, holds the partial-result surface across the blocks of a
+    reduction run, and emits completed C tiles back to external memory.
+    """
+
+    def __init__(self, name: str, system: "CakeSystem") -> None:
+        super().__init__(name, system)
+        # Partial C surface, keyed by global (row, n) tile coordinates.
+        self.partials: dict[tuple[int, int], float] = {}
+        # Accumulations received per (mi, ni) run, to detect completion.
+        self._run_received: dict[tuple[int, int], int] = {}
+        self._run_expected: dict[tuple[int, int], int] = {}
+        self._run_blocks_seen: dict[tuple[int, int], set[int]] = {}
+
+    def expect_run(self, mi: int, ni: int, expected: int) -> None:
+        """Arm completion detection for the (mi, ni) reduction run."""
+        self._run_expected[(mi, ni)] = expected
+        self._run_received.setdefault((mi, ni), 0)
+
+    def receive(self, pkt: Packet) -> None:
+        if pkt.kind == "A":
+            # Stationary-tile load: one port transfer to its core.
+            departure = self.system.local_port_delay(pkt.elements)
+            core = self.system.core_name(pkt.row, pkt.col)
+            self.system.send_at(
+                pkt.redirect(core), departure + self.system.link_latency
+            )
+        elif pkt.kind == "B":
+            # Broadcast to every active core in the column. The port is
+            # charged ONCE per tile (Eq. 3 counts the broadcast once);
+            # all copies depart together when the port frees up.
+            departure = self.system.local_port_delay(pkt.elements)
+            rows = self.system.active_rows(pkt.block)
+            for i in range(rows):
+                core = self.system.core_name(i, pkt.col)
+                self.system.send_at(
+                    pkt.redirect(core), departure + self.system.link_latency
+                )
+        elif pkt.kind == "PARTIAL":
+            # Accumulating a partial reads and rewrites the running sum:
+            # two port transfers (the "2 * IO_C" term of Eq. 3).
+            departure = self.system.local_port_delay(2 * pkt.elements)
+            self.system.sim.at(departure, lambda: self._absorb_partial(pkt))
+        else:
+            raise SimulationError(f"local memory cannot handle {pkt.kind}")
+
+    def _absorb_partial(self, pkt: Packet) -> None:
+        key = (pkt.row, pkt.t)  # global tile coordinates (set by the core row map)
+        self.partials[key] = self.partials.get(key, 0.0) + pkt.value
+        run = self.system.run_of(pkt.block)
+        self._run_received[run] = self._run_received.get(run, 0) + 1
+        self.system.note_block_progress(pkt.block)
+        expected = self._run_expected.get(run)
+        if expected is not None and self._run_received[run] == expected:
+            self._flush_run(run)
+
+    def _flush_run(self, run: tuple[int, int]) -> None:
+        """The run's reduction is complete: write its C tiles back."""
+        for (row, t) in self.system.run_c_tiles(run):
+            value = self.partials.pop((row, t))
+            pkt = Packet(
+                kind="C",
+                route=(self.system.ext_name,),
+                block=self.system.last_block_of_run(run),
+                row=row,
+                t=t,
+                value=value,
+            )
+            self.system.send(pkt, self.system.link_latency)
+
+
+class Core(Module):
+    """One processing core of the grid (Figure 3b).
+
+    Holds a stationary A tile, retires one tile multiply per cycle, and
+    forwards the running sum along its row's accumulation chain (toward
+    higher K, i.e. the back of the computation space).
+    """
+
+    def __init__(self, name: str, system: "CakeSystem", row: int, col: int) -> None:
+        super().__init__(name, system)
+        self.row = row
+        self.col = col
+        self.a_value = 0.0
+        self.a_loaded = False
+        self._busy_until = 0.0
+        self._queue: deque[Packet] = deque()
+        self._processing = False
+        # Products waiting for the left neighbour's partial, and vice versa.
+        self._products: dict[tuple[int, int, int, int], float] = {}
+        self._partials_in: dict[tuple[int, int, int, int], float] = {}
+        self.multiplies = 0
+
+    def receive(self, pkt: Packet) -> None:
+        if pkt.kind == "PARTIAL":
+            # The partial carries this core's (row, t) coordinates.
+            self._match(pkt_key(pkt.block, pkt.row, pkt.t), partial=pkt.value, pkt=pkt)
+            return
+        self._queue.append(pkt)
+        if not self._processing:
+            self._pump()
+
+    # -- serial input processing (1 multiply per cycle) ---------------------
+
+    def _pump(self) -> None:
+        if not self._queue:
+            self._processing = False
+            return
+        self._processing = True
+        pkt = self._queue.popleft()
+        now = self.system.sim.now
+        if pkt.kind == "A":
+            # Loading the stationary tile is overlapped with streaming.
+            self.a_value = pkt.value
+            self.a_loaded = True
+            self.system.sim.at(now, self._pump)
+        elif pkt.kind == "B":
+            if not self.a_loaded:
+                raise SimulationError(
+                    f"{self.name} got a B tile before its A tile"
+                )
+            start = max(now, self._busy_until)
+            self._busy_until = start + 1.0
+            product = self.a_value * pkt.value
+            self.system.sim.at(
+                self._busy_until, lambda: self._finish_multiply(pkt, product)
+            )
+        else:
+            raise SimulationError(f"{self.name} cannot handle {pkt.kind}")
+
+    def _finish_multiply(self, pkt: Packet, product: float) -> None:
+        self.multiplies += 1
+        if self.col == 0:
+            self._emit(pkt, product)
+        else:
+            self._match(
+                pkt_key(pkt.block, self.row, pkt.t), product=product, pkt=pkt
+            )
+        self._pump()
+
+    # -- accumulation chain ----------------------------------------------------
+
+    def _match(
+        self,
+        key: tuple[int, int, int, int],
+        *,
+        product: float | None = None,
+        partial: float | None = None,
+        pkt: Packet,
+    ) -> None:
+        """Pair a local product with the incoming partial sum.
+
+        The add itself is overlapped with multiplication (Section 3's
+        assumption), so pairing costs no core time — only link latency.
+        """
+        if product is not None:
+            if key in self._partials_in:
+                self._emit(pkt, product + self._partials_in.pop(key))
+            else:
+                self._products[key] = product
+        if partial is not None:
+            if key in self._products:
+                self._emit(pkt, self._products.pop(key) + partial)
+            else:
+                self._partials_in[key] = partial
+
+    def _emit(self, pkt: Packet, value: float) -> None:
+        """Send the running sum right, or to local memory if last column."""
+        last_col = self.system.active_cols(pkt.block) - 1
+        if self.col == last_col:
+            out = Packet(
+                kind="PARTIAL",
+                route=(self.system.local_name,),
+                block=pkt.block,
+                row=self.system.global_row(pkt.block, self.row),
+                col=self.col,
+                t=self.system.global_t(pkt.block, pkt.t),
+                value=value,
+            )
+        else:
+            out = Packet(
+                kind="PARTIAL",
+                route=(self.system.core_name(self.row, self.col + 1),),
+                block=pkt.block,
+                row=self.row,
+                col=self.col + 1,
+                t=pkt.t,
+                value=value,
+            )
+        self.system.send(out, self.system.link_latency)
+
+
+def pkt_key(block, row: int, t: int) -> tuple[int, int, int, int, int]:
+    """Accumulation pairing key: block identity plus core row and N index."""
+    return (block.mi, block.ni, block.ki, row, t)

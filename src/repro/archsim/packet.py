@@ -1,0 +1,71 @@
+"""Standardised packets (Section 6.2).
+
+"To reduce module complexity and simplify programming, standardized
+packets are used for all communication between simulated hardware
+modules. Packets originate from external memory and contain headers to
+control routing (i.e., source routing) as well as fields containing the
+packet's tile index into the computation space and CB block."
+
+A packet's ``route`` is the remaining list of module names it must visit;
+each hop pops the head. ``block`` plus ``(row, col, t)`` locate the tile:
+``row``/``col`` index the core grid (M and K positions inside the block),
+``t`` indexes the block's N dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from repro.errors import SimulationError
+from repro.schedule.space import BlockCoord
+
+Kind = Literal["A", "B", "PARTIAL", "C"]
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One tile in flight.
+
+    Attributes
+    ----------
+    kind:
+        ``"A"``/``"B"`` input tiles, ``"PARTIAL"`` accumulation traffic
+        between cores, ``"C"`` completed results headed back out.
+    route:
+        Remaining source route (module names, first is the next hop).
+    block:
+        Which CB block of the schedule this tile belongs to.
+    row, col:
+        Tile coordinates inside the block's A surface / core grid
+        (row = M position, col = K position). ``-1`` when not applicable.
+    t:
+        Index along the block's N dimension. ``-1`` when not applicable.
+    value:
+        The tile's numerical payload (scalar tiles at this granularity).
+    elements:
+        Tile size in elements, for bandwidth accounting.
+    """
+
+    kind: Kind
+    route: tuple[str, ...]
+    block: BlockCoord
+    row: int = -1
+    col: int = -1
+    t: int = -1
+    value: float = 0.0
+    elements: int = 1
+
+    def next_hop(self) -> str:
+        """The module this packet should be delivered to next."""
+        if not self.route:
+            raise SimulationError(f"packet {self} has an exhausted route")
+        return self.route[0]
+
+    def advance(self) -> "Packet":
+        """The packet as seen after the current hop consumes the head."""
+        return replace(self, route=self.route[1:])
+
+    def redirect(self, *route: str) -> "Packet":
+        """A copy with a brand-new source route (used by broadcast fan-out)."""
+        return replace(self, route=route)

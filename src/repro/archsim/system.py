@@ -1,0 +1,395 @@
+"""Wiring and orchestration: a core grid executing a CB-partitioned MM.
+
+:class:`CakeSystem` builds the Figure 3b machine — external memory, local
+memory, and a ``rows x cols`` grid of cores — then executes a full matrix
+multiplication partitioned into CB blocks of ``rows x n_block x cols``
+tiles, scheduled K-first (Algorithm 2). Tiles are scalars at this
+granularity, so "tile index" means matrix element index and numerical
+correctness is checked end to end.
+
+Surface reuse is physical: an A tile already sitting in its core (same
+``(mi, ki)`` as the previous block) is not re-streamed, matching the
+turn-reuse claims of Section 2.2; partial C surfaces live in local memory
+until their reduction run completes.
+
+Timing validation (Section 3): with external bandwidth ``BW`` tiles/cycle,
+a full interior block should take about ``max(n_block, (IO_A + IO_B)/BW)``
+cycles in steady state — tests compare the simulator's measured block
+times against that closed form across bandwidth settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.archsim.event_queue import Simulator
+from repro.archsim.modules import Core, ExternalMemory, LocalMemory, Module
+from repro.archsim.packet import Packet
+from repro.core.cb_block import CBBlock
+from repro.errors import SimulationError
+from repro.schedule.kfirst import kfirst_schedule
+from repro.schedule.space import BlockCoord, BlockGrid, ComputationSpace
+from repro.util import require_positive
+
+
+@dataclass(slots=True)
+class BlockRunStats:
+    """Timing of one scheduled block."""
+
+    coord: BlockCoord
+    issue_cycle: float
+    finish_cycle: float = float("nan")
+    a_tiles_streamed: int = 0
+    b_tiles_streamed: int = 0
+
+    @property
+    def cycles(self) -> float:
+        return self.finish_cycle - self.issue_cycle
+
+
+@dataclass(slots=True)
+class SystemReport:
+    """Everything one simulated MM produced."""
+
+    c: np.ndarray
+    total_cycles: float
+    blocks: list[BlockRunStats]
+    ext_tiles_out: int
+    ext_tiles_in: int
+    events: int
+    core_multiplies: dict[str, int]
+
+    @property
+    def total_multiplies(self) -> int:
+        """Tile multiplies retired across the whole grid."""
+        return sum(self.core_multiplies.values())
+
+    @property
+    def grid_utilisation(self) -> float:
+        """Mean core busy fraction: multiplies / (cores * cycles).
+
+        1.0 means every core multiplied on every cycle of the run —
+        perfectly compute-bound with no ragged edges.
+        """
+        cores = len(self.core_multiplies)
+        if cores == 0 or self.total_cycles <= 0:
+            return 0.0
+        return self.total_multiplies / (cores * self.total_cycles)
+
+    @property
+    def external_link_utilisation(self) -> float:
+        """Fraction of the run the DRAM link spent streaming (given the
+        bandwidth recorded at construction via ext_link_busy_cycles)."""
+        return self.ext_link_busy_cycles / self.total_cycles
+
+    ext_link_busy_cycles: float = 0.0
+
+    @property
+    def steady_block_cycles(self) -> float:
+        """Median finish-to-finish spacing between consecutive blocks.
+
+        In a pipelined machine (IO streams ahead of compute) this is the
+        steady-state per-block *throughput* — the quantity Section 3's
+        ``max(T_compute, T_IO)`` predicts — whereas a block's own
+        issue-to-finish latency also contains queueing ahead of it.
+        """
+        finishes = [b.finish_cycle for b in self.blocks]
+        deltas = sorted(
+            b - a for a, b in zip(finishes, finishes[1:])
+        ) or [finishes[0]]
+        return deltas[len(deltas) // 2]
+
+
+class CakeSystem:
+    """A simulated CAKE machine: core grid + local memory + DRAM.
+
+    Parameters
+    ----------
+    rows, cols:
+        Core-grid geometry: ``rows`` is the M extent of a CB block in
+        tiles (one A tile per core), ``cols`` its K extent.
+    ext_bw_tiles_per_cycle:
+        External-memory streaming rate (the ``R * k`` of Section 3.2).
+    n_block:
+        N extent of a CB block in tiles (``alpha * rows`` in the paper's
+        shaping; default ``rows``, i.e. ``alpha = 1``).
+    int_bw_tiles_per_cycle:
+        Bandwidth of the local memory's port to the cores — every B
+        broadcast (charged once per tile, per Eq. 3's counting) and
+        every partial-C absorption (charged twice: read + write of the
+        running sum) serialises through it. This is the quantity
+        Equation 3 bounds (``BW_int >= R*k + 2*p*k``); starving it is
+        how the internal-bandwidth ceilings of Figures 10c/11c are
+        reproduced in simulation. Default: comfortably above the Eq. 3
+        floor (``ext_bw + cols + 2*rows``) so that compute or the
+        external link binds instead.
+    link_latency:
+        Cycles per hop between modules.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        *,
+        ext_bw_tiles_per_cycle: float,
+        n_block: int | None = None,
+        int_bw_tiles_per_cycle: float | None = None,
+        link_latency: float = 1.0,
+    ) -> None:
+        require_positive("rows", rows)
+        require_positive("cols", cols)
+        require_positive("ext_bw_tiles_per_cycle", ext_bw_tiles_per_cycle)
+        self.rows = rows
+        self.cols = cols
+        self.n_block = rows if n_block is None else n_block
+        require_positive("n_block", self.n_block)
+        self.int_bw = (
+            ext_bw_tiles_per_cycle + cols + 2.0 * rows
+            if int_bw_tiles_per_cycle is None
+            else int_bw_tiles_per_cycle
+        )
+        require_positive("int_bw_tiles_per_cycle", self.int_bw)
+        self.link_latency = link_latency
+        # Single ordered issue stream: every tile (external or resident
+        # rebroadcast) departs after its predecessor, so core FIFOs see
+        # packets in schedule order regardless of source.
+        self._issue_next = 0.0
+        # The local-memory port serialiser (Eq. 3's internal bandwidth).
+        self._local_next_free = 0.0
+        self.local_port_tiles = 0.0
+
+        self.sim = Simulator()
+        self.ext_name = "ext"
+        self.local_name = "local"
+        self.ext = ExternalMemory(self.ext_name, self, ext_bw_tiles_per_cycle)
+        self.local = LocalMemory(self.local_name, self)
+        self._modules: dict[str, Module] = {
+            self.ext_name: self.ext,
+            self.local_name: self.local,
+        }
+        for i in range(rows):
+            for j in range(cols):
+                name = self.core_name(i, j)
+                self._modules[name] = Core(name, self, i, j)
+
+        self._grid: BlockGrid | None = None
+        self._block_stats: dict[tuple[int, int, int], BlockRunStats] = {}
+        self._block_expected: dict[tuple[int, int, int], int] = {}
+        self._block_progress: dict[tuple[int, int, int], int] = {}
+        self._run_last_block: dict[tuple[int, int], BlockCoord] = {}
+
+    # -- topology helpers used by modules -----------------------------------
+
+    def core_name(self, row: int, col: int) -> str:
+        """Canonical module name of the core at (row, col)."""
+        return f"core_{row}_{col}"
+
+    def _extent(self, block: BlockCoord) -> CBBlock:
+        if self._grid is None:
+            raise SimulationError("no matmul in flight")
+        return self._grid.extent(block)
+
+    def _origin(self, block: BlockCoord) -> tuple[int, int, int]:
+        if self._grid is None:
+            raise SimulationError("no matmul in flight")
+        return self._grid.origin(block)
+
+    def active_rows(self, block: BlockCoord) -> int:
+        """Rows of the grid participating in ``block`` (ragged edges)."""
+        return self._extent(block).m
+
+    def active_cols(self, block: BlockCoord) -> int:
+        """Columns of the grid participating in ``block``."""
+        return self._extent(block).k
+
+    def run_of(self, block: BlockCoord) -> tuple[int, int]:
+        """The reduction run a block belongs to."""
+        return (block.mi, block.ni)
+
+    def last_block_of_run(self, run: tuple[int, int]) -> BlockCoord:
+        return self._run_last_block[run]
+
+    def global_row(self, block: BlockCoord, row: int) -> int:
+        """Grid row -> global M tile index."""
+        return self._origin(block)[0] + row
+
+    def global_t(self, block: BlockCoord, t: int) -> int:
+        """Block-local N index -> global N tile index."""
+        return self._origin(block)[1] + t
+
+    def run_c_tiles(self, run: tuple[int, int]):
+        """Global (row, t) coordinates of the run's C tiles."""
+        block = self._run_last_block[run]
+        ext = self._extent(block)
+        m0, n0, _ = self._grid.origin(block)  # type: ignore[union-attr]
+        for i in range(ext.m):
+            for t in range(ext.n):
+                yield (m0 + i, n0 + t)
+
+    # -- packet transport -----------------------------------------------------
+
+    #: Nominal rate for re-injecting already-resident surfaces: high
+    #: enough to never pace them (the real pacing happens at the local
+    #: memory's port), non-zero to keep the issue stream strictly ordered.
+    _REISSUE_RATE = 1e9
+
+    def _issue(self, pkt: Packet, *, external: bool) -> None:
+        """Inject one tile through the ordered issue stream.
+
+        External tiles are paced at the DRAM rate and metered as external
+        IO; resident rebroadcasts pass through almost instantly (they are
+        paced for real at the local-memory port). Departures are strictly
+        ordered, so downstream FIFOs preserve the schedule order.
+        """
+        rate = self.ext.bw if external else self._REISSUE_RATE
+        departure = self._issue_next
+        self._issue_next = departure + pkt.elements / rate
+        if external:
+            self.ext.tiles_sent += pkt.elements
+        self.send_at(pkt, departure + self.link_latency)
+
+    def local_port_delay(self, tiles: float) -> float:
+        """Occupy the local-memory port for ``tiles`` tile-transfers.
+
+        Returns the absolute time at which the transfer departs; the
+        port is busy until then plus the service time. All LLC-to-core
+        and core-to-LLC traffic funnels through here, so internal
+        bandwidth (Eq. 3) becomes a measurable constraint.
+        """
+        departure = max(self.sim.now, self._local_next_free)
+        self._local_next_free = departure + tiles / self.int_bw
+        self.local_port_tiles += tiles
+        return departure
+
+    def send(self, pkt: Packet, delay: float) -> None:
+        """Deliver ``pkt`` to its next hop after ``delay`` cycles."""
+        self.send_at(pkt, self.sim.now + delay)
+
+    def send_at(self, pkt: Packet, time: float) -> None:
+        target = self._modules.get(pkt.next_hop())
+        if target is None:
+            raise SimulationError(f"packet routed to unknown module {pkt.next_hop()!r}")
+        self.sim.at(time, lambda: target.receive(pkt.advance()))
+
+    # -- progress accounting ---------------------------------------------------
+
+    def note_block_progress(self, block: BlockCoord) -> None:
+        """Called by local memory for every absorbed partial tile."""
+        key = (block.mi, block.ni, block.ki)
+        self._block_progress[key] = self._block_progress.get(key, 0) + 1
+        if self._block_progress[key] == self._block_expected[key]:
+            self._block_stats[key].finish_cycle = self.sim.now
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_matmul(self, a: np.ndarray, b: np.ndarray) -> SystemReport:
+        """Execute ``a @ b`` on the simulated machine and verify coverage.
+
+        Matrix entries are the "tiles" of this granularity; ``a`` is
+        ``M x K`` and ``b`` is ``K x N`` with no divisibility demands
+        (edge blocks shrink, idling part of the grid).
+        """
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError("operands must be 2-D with matching inner dim")
+        m, k = a.shape
+        _, n = b.shape
+        space = ComputationSpace(m, n, k)
+        grid = BlockGrid(
+            space, CBBlock(min(self.rows, m), min(self.n_block, n), min(self.cols, k))
+        )
+        self._grid = grid
+        order = kfirst_schedule(grid)
+
+        # Arm run/block completion detection.
+        run_expected: dict[tuple[int, int], int] = {}
+        for coord in order:
+            ext = grid.extent(coord)
+            key = (coord.mi, coord.ni, coord.ki)
+            self._block_expected[key] = ext.m * ext.n
+            run = self.run_of(coord)
+            run_expected[run] = run_expected.get(run, 0) + ext.m * ext.n
+            self._run_last_block[run] = coord
+        for run, expected in run_expected.items():
+            self.local.expect_run(run[0], run[1], expected)
+
+        # Stream the schedule through the ordered issuer.
+        prev: BlockCoord | None = None
+        for coord in order:
+            ext = grid.extent(coord)
+            m0, n0, k0 = grid.origin(coord)
+            stats = BlockRunStats(coord=coord, issue_cycle=self._issue_next)
+            a_resident = prev is not None and (prev.mi, prev.ki) == (
+                coord.mi,
+                coord.ki,
+            )
+            b_resident = prev is not None and (prev.ki, prev.ni) == (
+                coord.ki,
+                coord.ni,
+            )
+            if not a_resident:
+                for i in range(ext.m):
+                    for j in range(ext.k):
+                        self._issue(
+                            Packet(
+                                kind="A",
+                                route=(self.local_name,),
+                                block=coord,
+                                row=i,
+                                col=j,
+                                value=float(a[m0 + i, k0 + j]),
+                            ),
+                            external=True,
+                        )
+                        stats.a_tiles_streamed += 1
+            for t in range(ext.n):
+                for j in range(ext.k):
+                    # A resident B surface is rebroadcast from local
+                    # memory — no external IO, faster issue rate.
+                    self._issue(
+                        Packet(
+                            kind="B",
+                            route=(self.local_name,),
+                            block=coord,
+                            col=j,
+                            t=t,
+                            value=float(b[k0 + j, n0 + t]),
+                        ),
+                        external=not b_resident,
+                    )
+                    if not b_resident:
+                        stats.b_tiles_streamed += 1
+            self._block_stats[(coord.mi, coord.ni, coord.ki)] = stats
+            prev = coord
+
+        self.sim.run()
+
+        # Assemble and verify the result surface.
+        c = np.zeros((m, n), dtype=np.float64)
+        if len(self.ext.results) != m * n:
+            raise SimulationError(
+                f"simulation produced {len(self.ext.results)} of {m * n} C tiles"
+            )
+        for (row, t), value in self.ext.results.items():
+            c[row, t] = value
+
+        blocks = [
+            self._block_stats[(o.mi, o.ni, o.ki)] for o in order
+        ]
+        core_multiplies = {
+            name: mod.multiplies
+            for name, mod in self._modules.items()
+            if isinstance(mod, Core)
+        }
+        return SystemReport(
+            c=c,
+            total_cycles=self.sim.now,
+            blocks=blocks,
+            ext_tiles_out=self.ext.tiles_sent,
+            ext_tiles_in=self.ext.tiles_received,
+            events=self.sim.events_processed,
+            core_multiplies=core_multiplies,
+            ext_link_busy_cycles=self.ext.tiles_sent / self.ext.bw,
+        )

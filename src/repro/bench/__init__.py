@@ -1,0 +1,13 @@
+"""Experiment harness: one generator per paper table/figure.
+
+Each experiment function in :mod:`repro.bench.experiments` produces an
+:class:`~repro.bench.report.ExperimentReport` — the same rows/series the
+paper's artifact reports, as formatted text plus raw data. The
+``benchmarks/`` tree wraps each one in pytest-benchmark; the ``cake-bench``
+CLI (:mod:`repro.bench.cli`) runs them standalone.
+"""
+
+from repro.bench.report import ExperimentReport
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,96 @@
+"""``cake-plan``: inspect the analytic plan for a machine and problem.
+
+The "no design search" pitch as a tool: print the CB operating point CAKE
+derives for a problem — alpha, mc, block geometry — alongside the GOTO
+tiling and the predicted performance of both, without executing anything.
+
+Examples::
+
+    cake-plan --machine intel-i9-10900k -m 23040 -n 23040 -k 23040
+    cake-plan --machine arm-cortex-a53 -m 3000 -n 3000 -k 3000 --cores 2
+    cake-plan --machine intel-i9-10900k -m 4096 -n 4096 -k 4096 --dram-gb-s 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.bench.report import format_table
+from repro.gemm.plan import CakePlan, GotoPlan
+from repro.machines.presets import PRESET_NAMES, preset
+from repro.perfmodel.predict import predict_cake, predict_goto
+from repro.schedule.space import ComputationSpace
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``cake-plan`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="cake-plan",
+        description="Show the analytic CAKE (and GOTO) tiling plan for a "
+        "problem on a modelled machine.",
+    )
+    parser.add_argument(
+        "--machine",
+        default="intel-i9-10900k",
+        choices=sorted(PRESET_NAMES),
+    )
+    parser.add_argument("-m", type=int, required=True, help="rows of A/C")
+    parser.add_argument("-n", type=int, required=True, help="cols of B/C")
+    parser.add_argument("-k", type=int, required=True, help="reduction dim")
+    parser.add_argument("--cores", type=int, default=None)
+    parser.add_argument(
+        "--dram-gb-s",
+        type=float,
+        default=None,
+        help="override the machine's DRAM bandwidth (what-if mode)",
+    )
+    args = parser.parse_args(argv)
+
+    machine = preset(args.machine)
+    if args.dram_gb_s is not None:
+        machine = dataclasses.replace(machine, dram_gb_per_s=args.dram_gb_s)
+    space = ComputationSpace(args.m, args.n, args.k)
+    cores = machine.cores if args.cores is None else args.cores
+
+    cake = CakePlan.from_problem(machine, space, cores=cores)
+    goto = GotoPlan.from_problem(machine, space, cores=cores)
+    cake_pred = predict_cake(machine, args.m, args.n, args.k, cores=cores)
+    goto_pred = predict_goto(machine, args.m, args.n, args.k, cores=cores)
+
+    print(f"{machine.name}, {cores} cores, "
+          f"{machine.dram_gb_per_s:g} GB/s DRAM")
+    print(f"problem: C[{args.m} x {args.n}] = "
+          f"A[{args.m} x {args.k}] @ B[{args.k} x {args.n}]\n")
+
+    grid = cake.grid()
+    for line in format_table(
+        ["engine", "tiling", "block / panel", "grid", "GFLOP/s", "DRAM GB/s"],
+        [
+            [
+                "CAKE",
+                f"alpha={cake.alpha:g} mc=kc={cake.mc}",
+                f"{cake.m_block} x {cake.n_block} x {cake.kc}",
+                f"{grid.mb} x {grid.nb} x {grid.kb}",
+                f"{cake_pred.gflops:.0f}",
+                f"{cake_pred.dram_gb_per_s:.2f}",
+            ],
+            [
+                "GOTO",
+                f"mc=kc={goto.mc} nc={goto.nc}",
+                f"{goto.mc} x {goto.nc} x {goto.kc}",
+                "-",
+                f"{goto_pred.gflops:.0f}",
+                f"{goto_pred.dram_gb_per_s:.2f}",
+            ],
+        ],
+    ):
+        print(line)
+
+    bound = max(cake_pred.bound_blocks, key=cake_pred.bound_blocks.get)
+    print(f"\nCAKE block-limiting resource (modal): {bound}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Experiment report type and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def format_table(headers: list[str], rows: list[list[Any]]) -> list[str]:
+    """Fixed-width text table (the style the paper's rows print in)."""
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}" if abs(v) < 100 else f"{v:.1f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+@dataclass(slots=True)
+class ExperimentReport:
+    """One table/figure reproduction: formatted rows plus raw data."""
+
+    experiment_id: str
+    title: str
+    lines: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+    tables: list[tuple[list[str], list[list[Any]]]] = field(
+        default_factory=list
+    )
+
+    def add_table(self, headers: list[str], rows: list[list[Any]]) -> None:
+        self.tables.append((list(headers), [list(r) for r in rows]))
+        self.lines.extend(format_table(headers, rows))
+
+    def add_line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def text(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        return "\n".join([header, *self.lines, ""])
+
+    def csv(self) -> str:
+        """All tables as CSV (blank line between tables) — the
+        plottable form of the figure's series."""
+        import csv as _csv
+        import io
+
+        out = io.StringIO()
+        writer = _csv.writer(out)
+        for i, (headers, rows) in enumerate(self.tables):
+            if i:
+                out.write("\n")
+            writer.writerow(headers)
+            writer.writerows(rows)
+        return out.getvalue()

@@ -1,0 +1,102 @@
+"""Constant-bandwidth (CB) block theory — Sections 2-4 of the paper.
+
+This package is the analytical heart of CAKE. It contains no simulation:
+only the closed-form shaping/sizing algebra that the paper derives, which the
+executors (:mod:`repro.gemm`), the performance model (:mod:`repro.perfmodel`)
+and the architecture simulator (:mod:`repro.archsim`) all consume.
+
+Contents
+--------
+:mod:`repro.core.cb_block`
+    The :class:`~repro.core.cb_block.CBBlock` value type: a block of the
+    computation space with its three IO surfaces.
+:mod:`repro.core.shaping`
+    Section 3 shaping: ``m = p*k``, ``n = alpha*p*k``; choosing ``alpha``
+    from the bandwidth ratio ``R``.
+:mod:`repro.core.requirements`
+    Equations 1-3: internal memory size, minimum external bandwidth, and
+    internal bandwidth of a CB block.
+:mod:`repro.core.cpu_model`
+    Section 4: the CPU adaptation (``k = 1``, tiles of ``mr x nr``) for both
+    CAKE (Eqs. 4-6) and GOTO (Section 4.1).
+:mod:`repro.core.lru_sizing`
+    Section 4.3: sizing CB blocks under LRU caches (``C + 2(A+B) <= S``).
+:mod:`repro.core.intensity`
+    Arithmetic-intensity algebra behind Figure 4.
+"""
+
+from repro.core.cb_block import CBBlock
+from repro.core.shaping import (
+    alpha_from_bandwidth_ratio,
+    cb_block_shape,
+    min_bandwidth_ratio,
+)
+from repro.core.requirements import (
+    external_bandwidth_min,
+    internal_bandwidth_required,
+    internal_memory_required,
+)
+from repro.core.cpu_model import (
+    CakeCpuParams,
+    GotoCpuParams,
+    cake_block_compute_cycles,
+    cake_external_bw,
+    cake_internal_bw,
+    cake_local_memory,
+    goto_external_bw,
+    goto_panel_compute_cycles,
+)
+from repro.core.lru_sizing import (
+    cake_block_fits,
+    solve_cake_mc,
+    solve_goto_tiles,
+)
+from repro.core.intensity import (
+    arithmetic_intensity,
+    block_arithmetic_intensity,
+    square_mm_intensity,
+)
+from repro.core.directions import (
+    DIRECTIONS,
+    DirectionAnalysis,
+    analyze_direction,
+    best_direction,
+    block_compute_cycles,
+)
+from repro.core.provisioning import (
+    ProvisioningResult,
+    provision,
+    scaling_table,
+)
+
+__all__ = [
+    "CBBlock",
+    "alpha_from_bandwidth_ratio",
+    "cb_block_shape",
+    "min_bandwidth_ratio",
+    "external_bandwidth_min",
+    "internal_bandwidth_required",
+    "internal_memory_required",
+    "CakeCpuParams",
+    "GotoCpuParams",
+    "cake_block_compute_cycles",
+    "cake_external_bw",
+    "cake_internal_bw",
+    "cake_local_memory",
+    "goto_external_bw",
+    "goto_panel_compute_cycles",
+    "cake_block_fits",
+    "solve_cake_mc",
+    "solve_goto_tiles",
+    "arithmetic_intensity",
+    "block_arithmetic_intensity",
+    "square_mm_intensity",
+    "DIRECTIONS",
+    "DirectionAnalysis",
+    "analyze_direction",
+    "best_direction",
+    "block_compute_cycles",
+    "ProvisioningResult",
+    "provision",
+    "scaling_table",
+]

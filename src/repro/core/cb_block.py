@@ -1,0 +1,91 @@
+"""The CB block value type (Section 2.1).
+
+A block of the ``M x N x K`` computation space is a 3-D sub-volume of
+multiply-accumulate operations defined by three IO surfaces:
+
+* input surface ``A`` of size ``m x k`` (the "left" wall),
+* input surface ``B`` of size ``k x n`` (the "top"),
+* result surface ``C`` of size ``m x n`` (the "back" wall),
+
+where lower-case ``m, n, k`` are the block's extents. The block's *volume*
+is ``m * n * k`` MACs. Everything the paper derives about a block —
+IO totals, memory footprint, arithmetic intensity, computation time — is a
+pure function of ``(m, n, k)``, which is why this is a frozen dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import require_positive
+
+
+@dataclass(frozen=True, slots=True)
+class CBBlock:
+    """Extents of one block of the MM computation space, in elements.
+
+    Attributes
+    ----------
+    m, n, k:
+        Block extents along the M (rows of A/C), N (columns of B/C) and
+        K (reduction) dimensions.
+    """
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        require_positive("m", self.m)
+        require_positive("n", self.n)
+        require_positive("k", self.k)
+
+    @property
+    def volume(self) -> int:
+        """Number of MAC operations in the block (``m * n * k``)."""
+        return self.m * self.n * self.k
+
+    @property
+    def surface_a(self) -> int:
+        """Elements in the A input surface (``m x k``)."""
+        return self.m * self.k
+
+    @property
+    def surface_b(self) -> int:
+        """Elements in the B input surface (``k x n``)."""
+        return self.k * self.n
+
+    @property
+    def surface_c(self) -> int:
+        """Elements in the C result surface (``m x n``)."""
+        return self.m * self.n
+
+    @property
+    def io_total(self) -> int:
+        """Sum of the three IO surfaces.
+
+        Per Section 2.1 this equals both the external IO of an isolated
+        block and the local-memory footprint needed to hold it.
+        """
+        return self.surface_a + self.surface_b + self.surface_c
+
+    @property
+    def input_io(self) -> int:
+        """IO of the two input surfaces only (A and B).
+
+        This is the recurring external traffic of a block whose partial
+        results stay resident in local memory (Section 3.2).
+        """
+        return self.surface_a + self.surface_b
+
+    def flops(self) -> int:
+        """Floating-point operations (2 per MAC)."""
+        return 2 * self.volume
+
+    def scaled(self, *, m: int = 1, n: int = 1, k: int = 1) -> "CBBlock":
+        """Return a copy with each extent multiplied by the given factor.
+
+        Used to express Figure 4's "grow the block taller and wider as
+        cores are added" transformation.
+        """
+        return CBBlock(self.m * m, self.n * n, self.k * k)

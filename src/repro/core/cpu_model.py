@@ -1,0 +1,179 @@
+"""CPU adaptation of the CB analysis — Section 4 of the paper.
+
+On a CPU the model specialises as follows (Section 4 intro):
+
+* ``k = 1`` so any core count ``1..p`` is usable; ``p`` *is* the core count.
+* The unit of work is an ``mr x kc`` by ``kc x nr`` register-tile multiply
+  (Figure 5e / 6e); one core retires one such tile multiply per cycle, i.e.
+  ``mr * kc * nr`` MACs per cycle.
+* CAKE's CB block on the CPU is ``p*mc  x  kc  x  alpha*p*mc`` with square
+  per-core A sub-blocks (``mc = kc``) resident in each L2, the B panel and
+  the partial-C surface resident in the shared last-level cache.
+* GOTO's unit of work is ``p`` result panels of ``mc x nc`` for one
+  ``kc``-deep slice, with the B panel (``kc x nc``) resident in the LLC and
+  partial C streamed to/from DRAM.
+
+Bandwidths below are in **elements per cycle**; multiply by clock and
+element width (:mod:`repro.util.units`) for GB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import require_at_least, require_positive
+
+
+@dataclass(frozen=True, slots=True)
+class CakeCpuParams:
+    """Tiling parameters of the CAKE executor on a CPU.
+
+    Attributes
+    ----------
+    p:
+        Number of cores in use.
+    mc, kc:
+        Per-core A sub-block extents; the paper sets ``mc = kc`` (square)
+        but the dataclass keeps both for ragged-edge handling.
+    alpha:
+        CB aspect factor (``n_block = alpha * p * mc``), >= 1.
+    mr, nr:
+        Register-tile extents of the micro-kernel.
+    """
+
+    p: int
+    mc: int
+    kc: int
+    alpha: float
+    mr: int
+    nr: int
+
+    def __post_init__(self) -> None:
+        require_positive("p", self.p)
+        require_positive("mc", self.mc)
+        require_positive("kc", self.kc)
+        require_at_least("alpha", self.alpha, 1.0)
+        require_positive("mr", self.mr)
+        require_positive("nr", self.nr)
+
+    @property
+    def m_block(self) -> int:
+        """CB block extent along M: ``p * mc``."""
+        return self.p * self.mc
+
+    @property
+    def k_block(self) -> int:
+        """CB block extent along K: ``kc``."""
+        return self.kc
+
+    @property
+    def n_block(self) -> int:
+        """CB block extent along N: ``alpha * p * mc`` (rounded down).
+
+        Rounded *down* so the partial-C surface never exceeds what the
+        LRU sizing rule (Section 4.3) budgeted for it, then clamped up to
+        ``nr`` so the block always holds at least one register tile.
+        """
+        return max(int(self.alpha * self.p * self.mc), self.nr)
+
+
+@dataclass(frozen=True, slots=True)
+class GotoCpuParams:
+    """Tiling parameters of the GOTO executor on a CPU (Section 4.1).
+
+    ``mc x kc`` A sub-blocks live in each core's L2; a ``kc x nc`` B panel
+    lives in the LLC; ``mr x nr`` C tiles stream to/from DRAM.
+    """
+
+    p: int
+    mc: int
+    kc: int
+    nc: int
+    mr: int
+    nr: int
+
+    def __post_init__(self) -> None:
+        require_positive("p", self.p)
+        require_positive("mc", self.mc)
+        require_positive("kc", self.kc)
+        require_positive("nc", self.nc)
+        require_positive("mr", self.mr)
+        require_positive("nr", self.nr)
+
+
+# ---------------------------------------------------------------------------
+# CAKE on CPU (Section 4.2)
+# ---------------------------------------------------------------------------
+
+def cake_block_compute_cycles(params: CakeCpuParams) -> float:
+    """Compute time of one CB block, in model cycles.
+
+    ``T = (mc * kc * alpha*p*mc) / (mr * kc * nr) = alpha * p * mc^2 / (mr*nr)``
+
+    Each of the ``p`` cores computes its own ``mc x (alpha*p*mc)`` strip of
+    the block's C surface, retiring one ``mr x kc x nr`` tile per cycle.
+    """
+    return params.alpha * params.p * params.mc * params.mc / (params.mr * params.nr)
+
+
+def cake_external_bw(params: CakeCpuParams) -> float:
+    """Equation 4: CAKE's required external bandwidth, elements/cycle.
+
+    ``BW_ext = IO / T = ((alpha + 1) / alpha) * mr * nr``
+
+    Independent of ``p`` — the constant-bandwidth property. Only the A and
+    B surfaces cross the DRAM boundary per block; partial C stays in the
+    LLC until its reduction completes.
+    """
+    return (params.alpha + 1.0) / params.alpha * params.mr * params.nr
+
+
+def cake_local_memory(params: CakeCpuParams) -> float:
+    """Equation 5: CAKE's local-memory footprint, elements.
+
+    ``MEM_local = p*mc*kc*(alpha + 1) + alpha * p^2 * mc^2``
+
+    Quadratic in ``p`` through the partial-C term.
+    """
+    p, mc, kc, a = params.p, params.mc, params.kc, params.alpha
+    return p * mc * kc * (a + 1.0) + a * p * p * mc * mc
+
+
+def cake_internal_bw(params: CakeCpuParams) -> float:
+    """Equation 6: CAKE's required internal bandwidth, elements/cycle.
+
+    ``BW_int = (IO_A + IO_B + 2*IO_C) / T = (2*p + 1/alpha + 1) * mr * nr``
+
+    Grows linearly with the core count via the ``2p`` partial-result term.
+    """
+    return (2.0 * params.p + 1.0 / params.alpha + 1.0) * params.mr * params.nr
+
+
+# ---------------------------------------------------------------------------
+# GOTO on CPU (Section 4.1)
+# ---------------------------------------------------------------------------
+
+def goto_panel_compute_cycles(params: GotoCpuParams) -> float:
+    """Compute time of one GOTO super-step, in model cycles.
+
+    One super-step computes ``p`` result sub-matrices of ``mc x nc`` (one
+    per core) for a single ``kc`` slice:
+
+    ``T = (mc * kc * nc) / (mr * kc * nr) = mc * nc / (mr * nr)``
+    """
+    return params.mc * params.nc / (params.mr * params.nr)
+
+
+def goto_external_bw(params: GotoCpuParams) -> float:
+    """GOTO's required external bandwidth, elements/cycle (Section 4.1).
+
+    ``BW_ext = (p*mc*kc + kc*nc + p*mc*nc) / T
+             = (1 + p + (kc/nc)*p) * mr * nr``   (using ``mc = kc``)
+
+    Grows at least linearly in ``p``: each added core adds both an A
+    sub-block and an ``mc x nc`` streamed partial-C panel per super-step.
+    """
+    p, mc, kc, nc = params.p, params.mc, params.kc, params.nc
+    io = p * mc * kc + kc * nc + p * mc * nc
+    t = goto_panel_compute_cycles(params)
+    return io / t

@@ -1,0 +1,124 @@
+"""CB blocks computed in the N, M or K dimension (Section 3).
+
+The paper's main analysis streams blocks along **N** (each core keeps one
+A tile and sweeps the block's N extent), but notes: "Alternatively, we can
+compute a CB block in the M or K-dimension, resulting in a CB block
+computation time of k or m unit times, respectively. Computing CB blocks
+in alternative directions may be advantageous on certain architectures.
+For example, computing CB blocks in the K-dimension is preferable when
+doing in-place accumulation."
+
+This module works out that sketched extension. For a block shaped
+``m = p*k``, ``n = alpha*p*k`` (Section 3 shaping):
+
+* **N-direction** (the paper's): A tiles stationary, B streams;
+  ``T = n = alpha*p*k`` cycles. External per-block traffic is A + B.
+* **M-direction**: B tiles stationary (one per core requires the grid to
+  be re-dealt along B's ``k x n`` surface), A streams; ``T = k``.
+* **K-direction**: C tiles stationary in the cores (in-place
+  accumulation in registers/L2 — no partial traffic even to the LLC),
+  A and B both stream; ``T = m = p*k``.
+
+Each direction's minimum external bandwidth is its streamed-surface IO
+over its compute time; the stationary surface loads once and, as in
+Section 3.2, the resident partial/output surface does not cross the
+external boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.cb_block import CBBlock
+from repro.core.shaping import cb_block_shape
+from repro.util import require_at_least, require_positive
+
+Direction = Literal["n", "m", "k"]
+
+DIRECTIONS: tuple[Direction, ...] = ("n", "m", "k")
+
+
+@dataclass(frozen=True, slots=True)
+class DirectionAnalysis:
+    """Resource profile of one streaming direction for one CB block."""
+
+    direction: Direction
+    block: CBBlock
+    compute_cycles: float
+    streamed_io: float
+    stationary_io: float
+    external_bw_min: float
+
+    @property
+    def resident_surface(self) -> str:
+        """Which surface stays put while the block computes."""
+        return {"n": "A", "m": "B", "k": "C"}[self.direction]
+
+
+def block_compute_cycles(p: int, k: int, alpha: float, direction: Direction) -> float:
+    """Compute time of a CB block streamed along ``direction``.
+
+    N-direction: ``n = alpha*p*k`` cycles; M-direction: ``k`` cycles;
+    K-direction: ``m = p*k`` cycles (each core retires one tile per
+    cycle along the streamed dimension).
+    """
+    require_positive("p", p)
+    require_positive("k", k)
+    require_at_least("alpha", alpha, 1.0)
+    if direction == "n":
+        return alpha * p * k
+    if direction == "m":
+        return float(k)
+    if direction == "k":
+        return float(p * k)
+    raise ValueError(f"direction must be one of {DIRECTIONS}, got {direction!r}")
+
+
+def analyze_direction(
+    p: int, k: int, alpha: float, direction: Direction
+) -> DirectionAnalysis:
+    """Full Section 3-style resource profile for one direction.
+
+    The streamed traffic is everything except the stationary surface
+    (inputs) and the locally-accumulated result:
+
+    * ``n``: streams B (``k * n``); A stationary; partial C in local
+      memory — external per-block input IO is ``A + B`` as in Eq. 2, but
+      only B is *rate-critical* during compute (A loads once up front,
+      amortised over the ``alpha`` factor). We follow Eq. 2 and keep
+      both input surfaces in the bandwidth term.
+    * ``m``: streams A (``m * k``); B stationary; C accumulates locally.
+    * ``k``: streams A and B; C stationary in the cores (the in-place
+      accumulation case) — nothing flows back out until complete.
+    """
+    block = cb_block_shape(p, k, alpha)
+    cycles = block_compute_cycles(p, k, alpha, direction)
+    # Analytic (unrounded) surfaces, so the N-direction reproduces Eq. 2
+    # exactly for fractional alpha: A = p*k^2, B = alpha*p*k^2.
+    surface_a = float(p * k * k)
+    surface_b = alpha * p * k * k
+    surface_c = alpha * p * p * k * k
+    streamed = surface_a + surface_b
+    stationary = surface_c if direction == "k" else 0.0
+    return DirectionAnalysis(
+        direction=direction,
+        block=block,
+        compute_cycles=cycles,
+        streamed_io=streamed,
+        stationary_io=stationary,
+        external_bw_min=streamed / cycles,
+    )
+
+
+def best_direction(p: int, k: int, alpha: float) -> DirectionAnalysis:
+    """The direction with the lowest external-bandwidth floor.
+
+    For the paper's shaping (``n >= m >= k``), streaming along the
+    longest dimension wins: the block computes longest per unit of input
+    IO. With ``alpha >= 1`` that is always the N-direction — which is
+    why the paper presents it — with K tying when ``alpha == 1`` and the
+    M-direction always worst.
+    """
+    analyses = [analyze_direction(p, k, alpha, d) for d in DIRECTIONS]
+    return min(analyses, key=lambda a: a.external_bw_min)

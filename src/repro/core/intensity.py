@@ -1,0 +1,44 @@
+"""Arithmetic-intensity algebra (Figure 4 and Section 5.2.3).
+
+Arithmetic intensity (AI) is the ratio of computation volume to data
+transferred, ``AI = V / IO``, which equals the ratio of computation
+throughput to bandwidth: ``AI = CT / BW``. CB blocks exploit this identity:
+growing a block's volume while holding its external IO rate constant raises
+AI and therefore raises the throughput achievable under a fixed external
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.core.cb_block import CBBlock
+from repro.util import require_positive
+
+
+def arithmetic_intensity(volume: float, io: float) -> float:
+    """``AI = V / IO`` — MACs per element transferred."""
+    require_positive("volume", volume)
+    require_positive("io", io)
+    return volume / io
+
+
+def block_arithmetic_intensity(block: CBBlock, *, resident_c: bool = True) -> float:
+    """AI of a single CB block.
+
+    With ``resident_c=True`` (the CAKE discipline) partial results never
+    cross the external boundary, so IO is only the A and B surfaces; with
+    ``resident_c=False`` (an isolated block, or GOTO-style streaming) the C
+    surface counts too.
+    """
+    io = block.input_io if resident_c else block.io_total
+    return arithmetic_intensity(block.volume, io)
+
+
+def square_mm_intensity(n: int) -> float:
+    """AI of a full square ``n x n`` MM with perfect reuse: ``O(n)``.
+
+    ``V = n^3`` MACs against ``IO = 3 n^2`` elements (read A, read B,
+    write C once) gives ``AI = n / 3``. Section 5.2.3 uses this to explain
+    why small problems are memory-bound: AI shrinks linearly with ``n``.
+    """
+    require_positive("n", n)
+    return n**3 / (3.0 * n**2)

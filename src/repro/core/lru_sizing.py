@@ -1,0 +1,138 @@
+"""Sizing CB blocks to survive LRU eviction (Section 4.3).
+
+A CPU cache with LRU replacement cannot be filled to the brim with matrix
+operands: when the next block's A and B surfaces start streaming in, they
+must evict the *previous* block's A/B entries — not the partial-C surface
+that is still being accumulated. The paper's rule for a cache of size ``S``
+(elements) is::
+
+    C + 2*(A + B) <= S
+
+The factor of 2 reserves room for ``A[i+1]``/``B[i+1]`` to coexist with
+``A[i]``/``B[i]`` and ``C[i]``, guaranteeing that by the time block ``i+2``
+streams in, block ``i``'s input entries are LRU and get evicted first.
+
+For CAKE's CPU shaping (``mc = kc``, block ``p*mc x kc x alpha*p*mc``):
+
+* ``A = p * mc^2``
+* ``B = alpha * p * mc^2``
+* ``C = alpha * p^2 * mc^2``
+
+so the rule becomes ``mc^2 * (alpha*p^2 + 2*(1+alpha)*p) <= S_llc``, from
+which :func:`solve_cake_mc` extracts the largest feasible ``mc``. The
+per-core constraint ``mc*kc <= S_l2`` (with its own doubling factor for the
+incoming next A sub-block) caps ``mc`` from the L2 side.
+
+Worked example (tested): Intel i9-10900K, ``p = 10``, ``alpha = 1``,
+20 MiB LLC of float32 => ``mc = 192``, exactly the value quoted in
+Section 4.4 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cpu_model import CakeCpuParams, GotoCpuParams
+from repro.errors import ConfigurationError
+from repro.util import floor_to_multiple, require_at_least, require_positive
+
+
+def cake_block_fits(
+    params: CakeCpuParams, llc_elements: int, *, slack: float = 1.0
+) -> bool:
+    """Check the Section 4.3 rule ``C + 2*(A + B) <= S`` for a CAKE block.
+
+    ``slack`` scales the usable cache size (e.g. 0.9 to model the share
+    lost to non-operand lines); the default uses the whole cache as the
+    paper does.
+    """
+    require_positive("llc_elements", llc_elements)
+    require_positive("slack", slack)
+    a = params.p * params.mc * params.kc
+    b = params.alpha * params.p * params.mc * params.kc
+    c = params.alpha * params.p**2 * params.mc * params.kc
+    return c + 2 * (a + b) <= llc_elements * slack
+
+
+def solve_cake_mc(
+    *,
+    p: int,
+    alpha: float,
+    llc_elements: int,
+    l2_elements: int,
+    mr: int,
+    nr: int,
+) -> int:
+    """Largest square ``mc = kc`` satisfying both cache constraints.
+
+    LLC constraint (Section 4.3):
+        ``mc^2 * (alpha*p^2 + 2*(1 + alpha)*p) <= llc_elements``
+    L2 constraint (the per-core square A sub-block must fit its cache,
+    Section 4.4):
+        ``mc^2 <= l2_elements``
+
+    The Section 4.3 doubling rule applies to the *shared* cache, where
+    the next block's surfaces stream in while the partial-C surface must
+    survive; the per-core A block is simply loaded and used, so it only
+    has to fit. (This reproduces the paper's worked example: Intel
+    i9-10900K, ``p=10``, ``alpha=1`` gives ``mc = 192`` exactly.)
+
+    The result is floored to a multiple of ``mr`` so that per-core strips
+    tile cleanly into register tiles (and clamped at ``mr`` from below).
+
+    Raises
+    ------
+    ConfigurationError
+        If even ``mc = mr`` violates the LLC rule — the machine's cache is
+        too small for this ``(p, alpha)`` operating point.
+    """
+    require_positive("p", p)
+    require_at_least("alpha", alpha, 1.0)
+    require_positive("llc_elements", llc_elements)
+    require_positive("l2_elements", l2_elements)
+    require_positive("mr", mr)
+    require_positive("nr", nr)
+
+    llc_coeff = alpha * p * p + 2.0 * (1.0 + alpha) * p
+    mc_llc = math.isqrt(int(llc_elements / llc_coeff))
+    mc_l2 = math.isqrt(l2_elements)
+    mc = min(mc_llc, mc_l2)
+    if mc < mr:
+        raise ConfigurationError(
+            f"no feasible mc: caches admit mc={mc} but the micro-kernel needs "
+            f"mc >= mr={mr} (p={p}, alpha={alpha}, llc={llc_elements} elements)"
+        )
+    return floor_to_multiple(mc, mr)
+
+
+def solve_goto_tiles(
+    *,
+    p: int,
+    llc_elements: int,
+    l2_elements: int,
+    mr: int,
+    nr: int,
+) -> GotoCpuParams:
+    """Choose GOTO's ``(mc, kc, nc)`` from cache sizes (Section 4.1).
+
+    * ``mc = kc`` square, sized so the A sub-block fits the L2
+      (``mc * kc <= Size_L2``, Section 4.1).
+    * ``nc`` sized so the ``kc x nc`` B panel fills the LLC, floored to a
+      multiple of ``nr``.
+    """
+    require_positive("p", p)
+    require_positive("llc_elements", llc_elements)
+    require_positive("l2_elements", l2_elements)
+
+    mc_raw = math.isqrt(l2_elements)
+    if mc_raw < mr:
+        raise ConfigurationError(
+            f"L2 of {l2_elements} elements cannot hold an {mr}x{mr} A sub-block"
+        )
+    mc = floor_to_multiple(mc_raw, mr)
+    if llc_elements // mc < nr:
+        raise ConfigurationError(
+            f"LLC of {llc_elements} elements cannot hold a {mc}x{nr} B panel"
+        )
+    nc = floor_to_multiple(llc_elements // mc, nr)
+    return GotoCpuParams(p=p, mc=mc, kc=mc, nc=nc, mr=mr, nr=nr)

@@ -1,0 +1,119 @@
+"""Provisioning: from a performance target to a memory-system budget.
+
+Section 1: "Under the CB framework, we can precisely characterize the
+required size and bandwidth of local memory for achieving a target
+computation throughput with a given external memory bandwidth." This
+module is that characterisation, run forward as a design tool:
+
+given a target computation throughput (cores to keep busy) and the
+external bandwidth the platform offers, it returns the CB operating point
+— ``alpha`` from Section 3.2 — and the local-memory size (Eq. 1) and
+internal bandwidth (Eq. 3) the platform must provide. This is the
+workflow an accelerator architect would use (Section 6.1's "beyond
+CPUs"), and the ``custom_machine`` example drives it end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.requirements import (
+    internal_bandwidth_required,
+    internal_memory_required,
+)
+from repro.core.shaping import alpha_from_bandwidth_ratio, cb_block_shape
+from repro.errors import ConfigurationError
+from repro.util import require_positive
+
+
+@dataclass(frozen=True, slots=True)
+class ProvisioningResult:
+    """The memory system a CB design point requires.
+
+    All quantities in the Section 3 model units: memory in tiles,
+    bandwidth in tiles/cycle (multiply by tile size and clock for bytes
+    and bytes/s on a concrete machine).
+    """
+
+    p: int
+    k: int
+    alpha: float
+    bandwidth_ratio: float
+    local_memory_tiles: float
+    internal_bw_tiles_per_cycle: float
+    external_bw_tiles_per_cycle: float
+
+    @property
+    def block(self):
+        """The CB block realising this operating point."""
+        return cb_block_shape(self.p, self.k, self.alpha)
+
+
+def provision(
+    *,
+    p: int,
+    k: int,
+    external_bw_tiles_per_cycle: float,
+) -> ProvisioningResult:
+    """Size the local memory for ``p * k`` cores under a bandwidth cap.
+
+    Parameters
+    ----------
+    p, k:
+        Target processing power: a grid of ``p * k`` cores, each
+        retiring one tile multiply per cycle.
+    external_bw_tiles_per_cycle:
+        What the external memory can stream. Written as ``R * k`` in
+        Section 3.2; must exceed ``k`` (R > 1) or no block shape can
+        balance IO with compute.
+
+    Returns
+    -------
+    ProvisioningResult
+        The minimal ``alpha`` (hence minimal local memory, since Eq. 1
+        grows with alpha) meeting the bandwidth floor, with the Eq. 1
+        memory size and Eq. 3 internal bandwidth the platform must then
+        provide.
+
+    Raises
+    ------
+    ConfigurationError
+        If the external bandwidth is at or below the ``R = 1`` floor.
+    """
+    require_positive("p", p)
+    require_positive("k", k)
+    require_positive(
+        "external_bw_tiles_per_cycle", external_bw_tiles_per_cycle
+    )
+    r = external_bw_tiles_per_cycle / k
+    if r <= 1.0:
+        raise ConfigurationError(
+            f"external bandwidth {external_bw_tiles_per_cycle} tiles/cycle is "
+            f"at or below the floor of k = {k}; no CB block can balance it"
+        )
+    alpha = alpha_from_bandwidth_ratio(r)
+    return ProvisioningResult(
+        p=p,
+        k=k,
+        alpha=alpha,
+        bandwidth_ratio=r,
+        local_memory_tiles=internal_memory_required(p, k, alpha),
+        internal_bw_tiles_per_cycle=internal_bandwidth_required(p, k, r),
+        external_bw_tiles_per_cycle=external_bw_tiles_per_cycle,
+    )
+
+
+def scaling_table(
+    *, k: int, external_bw_tiles_per_cycle: float, p_values: tuple[int, ...]
+) -> list[ProvisioningResult]:
+    """Provision a family of designs at growing processing power.
+
+    The constant-bandwidth story in design-tool form: every row shares
+    the same external bandwidth while compute grows with ``p`` — local
+    memory must grow ~quadratically (Eq. 1) and internal bandwidth
+    ~linearly (Eq. 3) to pay for it.
+    """
+    return [
+        provision(p=p, k=k, external_bw_tiles_per_cycle=external_bw_tiles_per_cycle)
+        for p in p_values
+    ]

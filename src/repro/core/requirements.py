@@ -1,0 +1,63 @@
+"""Resource-requirement equations of a CB block (Sections 3.1-3.3).
+
+All three functions take the shaping parameters ``(p, k, alpha)`` directly
+(rather than a :class:`~repro.core.cb_block.CBBlock`) because the equations
+are stated in those terms in the paper and because they remain meaningful
+for fractional ``alpha``.
+
+Units: memory in *tiles* (one tile is the unit a core consumes per cycle)
+and bandwidth in *tiles per cycle*. The CPU adaptation with concrete element
+counts lives in :mod:`repro.core.cpu_model`.
+"""
+
+from __future__ import annotations
+
+from repro.util import require_at_least, require_positive
+
+
+def internal_memory_required(p: int, k: int, alpha: float) -> float:
+    """Equation 1: local-memory footprint of a CB block.
+
+    ``MEM_internal = IO_A + IO_B + IO_C_partial
+                   = p*k^2 + alpha*p*k^2 + alpha*p^2*k^2``
+
+    The quadratic third term is the partial-result surface: doubling the
+    processing power (``p``) quadruples the partial-result footprint, which
+    is the price CAKE pays for holding external bandwidth constant.
+    """
+    require_positive("p", p)
+    require_positive("k", k)
+    require_at_least("alpha", alpha, 1.0)
+    io_a = p * k * k
+    io_b = alpha * p * k * k
+    io_c = alpha * p * p * k * k
+    return io_a + io_b + io_c
+
+
+def external_bandwidth_min(k: int, alpha: float) -> float:
+    """Equation 2: minimum external bandwidth of a CB block, tiles/cycle.
+
+    ``BW_min = (IO_A + IO_B) / T = ((alpha + 1) / alpha) * k``
+
+    Independent of ``p``: growing the core count grows the block's IO and
+    its computation time by the same factor, which is the constant-bandwidth
+    property illustrated in Figure 4.
+    """
+    require_positive("k", k)
+    require_at_least("alpha", alpha, 1.0)
+    return (alpha + 1.0) / alpha * k
+
+
+def internal_bandwidth_required(p: int, k: int, r: float) -> float:
+    """Equation 3: internal (local-memory) bandwidth floor, tiles/cycle.
+
+    ``BW_int = (IO_A + IO_B + 2*IO_C_partial) / T = R*k + 2*p*k``
+
+    The partial surface is touched twice per block (read + write back of
+    the running accumulation), hence the ``2*p*k`` term that grows linearly
+    with processing power: CAKE trades external for internal bandwidth.
+    """
+    require_positive("p", p)
+    require_positive("k", k)
+    require_at_least("r", r, 1.0)
+    return r * k + 2.0 * p * k

@@ -1,0 +1,88 @@
+"""CB block shaping (Section 3).
+
+The paper's shaping rule: on an abstract machine with ``p * k`` cores laid
+out as a grid (Figure 3b), the block's A surface holds exactly one tile per
+core, so
+
+* ``m = p * k``   (rows of the A surface = one tile per core),
+* ``n = alpha * p * k``  with ``alpha >= 1``,
+* depth ``k`` fixed by available external bandwidth.
+
+``alpha`` compensates for low external bandwidth: the block computes for
+``n = alpha * p * k`` unit times while needing only its A and B surfaces
+from outside, so raising ``alpha`` lowers required external bandwidth
+(Eq. 2) at the cost of more local memory (Eq. 1).
+
+External bandwidth is written ``BW_ext = R * k`` tiles/cycle where ``R > 1``
+captures how much real bandwidth exceeds the floor. The minimum-bandwidth
+condition ``BW_ext >= BW_min`` is equivalent to ``alpha >= 1 / (R - 1)``
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cb_block import CBBlock
+from repro.errors import ConfigurationError
+from repro.util import require_at_least, require_positive
+
+
+def cb_block_shape(p: int, k: int, alpha: float) -> CBBlock:
+    """Shape a CB block for ``p * k`` cores with aspect factor ``alpha``.
+
+    Parameters
+    ----------
+    p:
+        Processing-power scale factor; the grid has ``p * k`` cores and the
+        block is ``m = p * k`` rows tall.
+    k:
+        Reduction depth of the block (also the width of the core grid).
+    alpha:
+        Aspect factor ``>= 1`` widening the block along N. Fractional
+        values are permitted by the algebra; the returned block rounds
+        ``n`` up to the next integer so that the block never undershoots
+        the bandwidth target.
+
+    Returns
+    -------
+    CBBlock
+        A block of shape ``(m, n, k) = (p*k, ceil(alpha*p*k), k)``.
+    """
+    require_positive("p", p)
+    require_positive("k", k)
+    require_at_least("alpha", alpha, 1.0)
+    m = p * k
+    n = math.ceil(alpha * p * k)
+    return CBBlock(m=m, n=n, k=k)
+
+
+def alpha_from_bandwidth_ratio(r: float) -> float:
+    """Smallest ``alpha`` satisfying the bandwidth floor, ``1 / (R - 1)``.
+
+    Section 3.2: external bandwidth ``BW_ext = R * k`` meets the block's
+    minimum requirement iff ``alpha >= 1 / (R - 1)``. Since the paper also
+    requires ``alpha >= 1`` (a block at least as wide as it is tall), the
+    returned value is clamped from below at 1.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``r <= 1``: with no headroom over the floor (``R <= 1``) no
+        finite ``alpha`` can balance IO with computation.
+    """
+    if r <= 1.0:
+        raise ConfigurationError(
+            f"bandwidth ratio R must exceed 1 for a feasible CB block, got {r!r}"
+        )
+    return max(1.0, 1.0 / (r - 1.0))
+
+
+def min_bandwidth_ratio(alpha: float) -> float:
+    """Inverse of :func:`alpha_from_bandwidth_ratio`.
+
+    Returns the smallest ``R`` for which a block with this ``alpha`` meets
+    its external-bandwidth floor: ``R = 1 + 1/alpha``.
+    """
+    require_at_least("alpha", alpha, 1.0)
+    return 1.0 + 1.0 / alpha

@@ -1,0 +1,34 @@
+"""DNN convolution workloads lowered to GEMM.
+
+The paper's opening motivation: "most computations in the forward pass of
+a convolutional neural network consist of one matrix multiplication per
+convolutional layer". This package provides that workload — an im2col
+lowering of 2-D convolution onto the library's GEMM engines, plus a small
+zoo of realistic layer shapes — used by the ``dnn_inference`` example and
+the packing-overhead bench (conv GEMMs are exactly the skewed shapes
+Section 5.2.1 warns about).
+"""
+
+from repro.dnn.lowering import (
+    col2im,
+    conv2d_batched_via_gemm,
+    conv2d_gemm_shape,
+    conv2d_input_gradient,
+    conv2d_via_gemm,
+    conv2d_weight_gradient,
+    im2col,
+)
+from repro.dnn.models import ConvLayer, resnet_like_layers, tiny_cnn_layers
+
+__all__ = [
+    "col2im",
+    "conv2d_batched_via_gemm",
+    "conv2d_gemm_shape",
+    "conv2d_input_gradient",
+    "conv2d_via_gemm",
+    "conv2d_weight_gradient",
+    "im2col",
+    "ConvLayer",
+    "resnet_like_layers",
+    "tiny_cnn_layers",
+]

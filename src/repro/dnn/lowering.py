@@ -1,0 +1,258 @@
+"""im2col lowering: 2-D convolution as matrix multiplication.
+
+A convolution of a ``(C_in, H, W)`` input with ``C_out`` filters of size
+``(C_in, R, S)`` at stride ``s`` becomes::
+
+    weights  (C_out  x  C_in*R*S)   @   patches  (C_in*R*S  x  H_out*W_out)
+
+so the GEMM has ``M = C_out``, ``K = C_in*R*S``, ``N = H_out*W_out`` —
+typically short-and-wide, the skewed regime where CAKE's shape adaptivity
+matters (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import require_positive
+
+
+def im2col(
+    x: np.ndarray, r: int, s: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold ``(C, H, W)`` into patch columns ``(C*r*s, H_out*W_out)``.
+
+    Vectorised with stride tricks (a view, not a copy, until the final
+    reshape) per the HPC guide's "views, not copies" idiom. ``padding``
+    zero-pads all four spatial borders first.
+    """
+    if x.ndim != 3:
+        raise ValueError(f"input must be (C, H, W), got shape {x.shape}")
+    require_positive("r", r)
+    require_positive("s", s)
+    require_positive("stride", stride)
+    if padding < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    c, h, w = x.shape
+    h_out = (h - r) // stride + 1
+    w_out = (w - s) // stride + 1
+    if h_out <= 0 or w_out <= 0:
+        raise ValueError(
+            f"kernel {r}x{s} with stride {stride} does not fit input {h}x{w}"
+        )
+    ch_s, h_s, w_s = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, h_out, w_out, r, s),
+        strides=(ch_s, h_s * stride, w_s * stride, h_s, w_s),
+        writeable=False,
+    )
+    # (c, r, s) become the K axis; (h_out, w_out) the N axis.
+    return (
+        windows.transpose(0, 3, 4, 1, 2).reshape(c * r * s, h_out * w_out)
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    shape: tuple[int, int, int],
+    r: int,
+    s: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patch columns back.
+
+    ``cols`` is ``(C*r*s, H_out*W_out)``; ``shape`` the original
+    ``(C, H, W)``. Overlapping patch positions accumulate — exactly the
+    operator the convolution input-gradient needs.
+    """
+    c, h, w = shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    h_out = (hp - r) // stride + 1
+    w_out = (wp - s) // stride + 1
+    if cols.shape != (c * r * s, h_out * w_out):
+        raise ValueError(
+            f"cols has shape {cols.shape}, expected {(c * r * s, h_out * w_out)}"
+        )
+    patches = cols.reshape(c, r, s, h_out, w_out)
+    out = np.zeros((c, hp, wp), dtype=cols.dtype)
+    for i in range(r):
+        for j in range(s):
+            out[:, i : i + stride * h_out : stride,
+                j : j + stride * w_out : stride] += patches[:, i, j]
+    if padding:
+        out = out[:, padding:-padding, padding:-padding]
+    return out
+
+
+def conv2d_gemm_shape(
+    c_in: int, h: int, w: int, c_out: int, r: int, s: int,
+    stride: int = 1, padding: int = 0,
+) -> tuple[int, int, int]:
+    """The ``(M, N, K)`` of the lowered GEMM for one conv layer."""
+    h_out = (h + 2 * padding - r) // stride + 1
+    w_out = (w + 2 * padding - s) // stride + 1
+    if h_out <= 0 or w_out <= 0:
+        raise ValueError("kernel does not fit input")
+    return c_out, h_out * w_out, c_in * r * s
+
+
+@dataclass(frozen=True, slots=True)
+class ConvResult:
+    """Output feature map plus the GEMM run that produced it."""
+
+    y: np.ndarray  # (C_out, H_out, W_out)
+    run: object  # GemmRun
+
+
+def _default_engine():
+    from repro.gemm.cake import CakeGemm
+    from repro.machines.presets import intel_i9_10900k
+
+    return CakeGemm(intel_i9_10900k())
+
+
+def conv2d_via_gemm(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    engine=None,
+) -> ConvResult:
+    """Convolve ``x`` (C_in, H, W) with ``weights`` (C_out, C_in, R, S).
+
+    ``engine`` is a GEMM engine with a ``multiply`` method (default: CAKE
+    on the Intel preset). ``bias`` is an optional per-output-channel
+    offset. The result is validated against a direct einsum convolution
+    in tests.
+    """
+    if weights.ndim != 4:
+        raise ValueError(f"weights must be (C_out, C_in, R, S), got {weights.shape}")
+    c_out, c_in, r, s = weights.shape
+    if x.shape[0] != c_in:
+        raise ValueError(
+            f"input has {x.shape[0]} channels, weights expect {c_in}"
+        )
+    if bias is not None and bias.shape != (c_out,):
+        raise ValueError(f"bias must have shape ({c_out},), got {bias.shape}")
+    engine = _default_engine() if engine is None else engine
+
+    patches = np.ascontiguousarray(im2col(x, r, s, stride, padding))
+    w_mat = weights.reshape(c_out, c_in * r * s)
+    run = engine.multiply(w_mat, patches)
+    h_out = (x.shape[1] + 2 * padding - r) // stride + 1
+    w_out = (x.shape[2] + 2 * padding - s) // stride + 1
+    y = run.c.reshape(c_out, h_out, w_out)
+    if bias is not None:
+        y = y + bias[:, None, None]
+    return ConvResult(y=y, run=run)
+
+
+def conv2d_batched_via_gemm(
+    x_batch: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    engine=None,
+) -> ConvResult:
+    """Convolve a whole batch ``(B, C_in, H, W)`` with one GEMM.
+
+    Patch columns from all samples concatenate along N, so the lowered
+    GEMM is ``C_out x (B * H_out * W_out) x (C_in*r*s)`` — batching
+    widens N, pushing the skewed conv GEMM toward the arithmetic
+    intensity sweet spot (larger problems are less memory-bound,
+    Section 5.2.3). ``y`` comes back as ``(B, C_out, H_out, W_out)``.
+    """
+    if x_batch.ndim != 4:
+        raise ValueError(
+            f"batch must be (B, C_in, H, W), got shape {x_batch.shape}"
+        )
+    c_out, c_in, r, s = weights.shape
+    if x_batch.shape[1] != c_in:
+        raise ValueError(
+            f"batch has {x_batch.shape[1]} channels, weights expect {c_in}"
+        )
+    if bias is not None and bias.shape != (c_out,):
+        raise ValueError(f"bias must have shape ({c_out},), got {bias.shape}")
+    engine = _default_engine() if engine is None else engine
+
+    cols = np.hstack(
+        [im2col(x, r, s, stride, padding) for x in x_batch]
+    )
+    w_mat = weights.reshape(c_out, c_in * r * s)
+    run = engine.multiply(w_mat, np.ascontiguousarray(cols))
+    batch = x_batch.shape[0]
+    h_out = (x_batch.shape[2] + 2 * padding - r) // stride + 1
+    w_out = (x_batch.shape[3] + 2 * padding - s) // stride + 1
+    y = (
+        run.c.reshape(c_out, batch, h_out, w_out).transpose(1, 0, 2, 3)
+    )
+    if bias is not None:
+        y = y + bias[None, :, None, None]
+    return ConvResult(y=y, run=run)
+
+
+def conv2d_weight_gradient(
+    x: np.ndarray,
+    dy: np.ndarray,
+    kernel_shape: tuple[int, int],
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    engine=None,
+) -> ConvResult:
+    """Weight gradient of a convolution — one more GEMM.
+
+    With ``dY`` of shape ``(C_out, H_out, W_out)``:
+    ``dW = dY_mat @ patches(x).T``, a GEMM of shape
+    ``C_out x (C_in*r*s) x (H_out*W_out)`` — short-and-fat, the skewed
+    regime again. Returns ``ConvResult`` whose ``y`` holds ``dW``
+    reshaped to ``(C_out, C_in, r, s)``.
+    """
+    r, s = kernel_shape
+    c_in = x.shape[0]
+    c_out = dy.shape[0]
+    engine = _default_engine() if engine is None else engine
+    patches = np.ascontiguousarray(im2col(x, r, s, stride, padding))
+    dy_mat = dy.reshape(c_out, -1)
+    if dy_mat.shape[1] != patches.shape[1]:
+        raise ValueError(
+            f"dY spatial size {dy_mat.shape[1]} does not match "
+            f"{patches.shape[1]} patch positions"
+        )
+    run = engine.multiply(dy_mat, np.ascontiguousarray(patches.T))
+    dw = run.c.reshape(c_out, c_in, r, s)
+    return ConvResult(y=dw, run=run)
+
+
+def conv2d_input_gradient(
+    weights: np.ndarray,
+    dy: np.ndarray,
+    input_shape: tuple[int, int, int],
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    engine=None,
+) -> ConvResult:
+    """Input gradient of a convolution: a GEMM plus :func:`col2im`.
+
+    ``dX_cols = W_mat.T @ dY_mat`` (shape ``C_in*r*s x H_out*W_out``),
+    scattered back onto the input grid by the im2col adjoint. Returns
+    ``ConvResult`` whose ``y`` holds ``dX`` of ``input_shape``.
+    """
+    c_out, c_in, r, s = weights.shape
+    engine = _default_engine() if engine is None else engine
+    w_mat = weights.reshape(c_out, c_in * r * s)
+    dy_mat = dy.reshape(c_out, -1)
+    run = engine.multiply(np.ascontiguousarray(w_mat.T), dy_mat)
+    dx = col2im(run.c, input_shape, r, s, stride, padding)
+    return ConvResult(y=dx, run=run)

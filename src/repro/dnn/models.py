@@ -1,0 +1,52 @@
+"""Layer-shape zoo for DNN-motivated workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.lowering import conv2d_gemm_shape
+
+
+@dataclass(frozen=True, slots=True)
+class ConvLayer:
+    """One convolutional layer's geometry."""
+
+    name: str
+    c_in: int
+    h: int
+    w: int
+    c_out: int
+    r: int
+    s: int
+    stride: int = 1
+
+    def gemm_shape(self) -> tuple[int, int, int]:
+        """The lowered GEMM's ``(M, N, K)``."""
+        return conv2d_gemm_shape(
+            self.c_in, self.h, self.w, self.c_out, self.r, self.s, self.stride
+        )
+
+
+def tiny_cnn_layers() -> list[ConvLayer]:
+    """A small CNN (CIFAR-scale) — runnable end-to-end with numerics."""
+    return [
+        ConvLayer("conv1", c_in=3, h=32, w=32, c_out=32, r=3, s=3),
+        ConvLayer("conv2", c_in=32, h=30, w=30, c_out=64, r=3, s=3),
+        ConvLayer("conv3", c_in=64, h=14, w=14, c_out=128, r=3, s=3),
+        ConvLayer("conv4", c_in=128, h=6, w=6, c_out=128, r=3, s=3),
+    ]
+
+
+def resnet_like_layers() -> list[ConvLayer]:
+    """ImageNet-scale layer geometries (for analytic sweeps only).
+
+    The shapes match a ResNet-ish progression: early layers lower to
+    short-and-wide GEMMs (small M = C_out, huge N = H*W), late layers to
+    more balanced ones — covering the skewed region of Figure 8.
+    """
+    return [
+        ConvLayer("conv2_x", c_in=64, h=56, w=56, c_out=64, r=3, s=3),
+        ConvLayer("conv3_x", c_in=128, h=28, w=28, c_out=128, r=3, s=3),
+        ConvLayer("conv4_x", c_in=256, h=14, w=14, c_out=256, r=3, s=3),
+        ConvLayer("conv5_x", c_in=512, h=7, w=7, c_out=512, r=3, s=3),
+    ]

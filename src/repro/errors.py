@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`CakeError` so callers can
+catch one type at the API boundary. ``ValueError``/``TypeError`` are still
+raised for plain argument-contract violations where that is the idiomatic
+Python behaviour; the subclasses here mark *domain* failures (inconsistent
+machine configuration, malformed schedules, simulator protocol violations).
+"""
+
+from __future__ import annotations
+
+
+class CakeError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(CakeError):
+    """A machine spec, block shape, or tiling parameter is inconsistent.
+
+    Examples: a CB block that cannot fit into the last-level cache under the
+    LRU sizing rule of Section 4.3; a cache level smaller than one line; a
+    core count exceeding what the machine provides.
+    """
+
+
+class ScheduleError(CakeError):
+    """A block schedule violates a structural invariant.
+
+    Examples: a schedule that does not cover every block exactly once, or a
+    traversal step between non-adjacent blocks where adjacency is required.
+    """
+
+
+class SimulationError(CakeError):
+    """The discrete-event or cache simulator reached an invalid state.
+
+    Examples: a packet routed to a module that cannot accept it, an event
+    scheduled in the past, or an accumulation arriving for a retired block.
+    """

@@ -1,0 +1,39 @@
+"""GEMM engines: CAKE, the GOTO baseline, and a naive reference.
+
+:class:`~repro.gemm.cake.CakeGemm` implements the paper's contribution:
+CB-block partitioning (Section 3 shaping, Section 4.3 LRU sizing), the
+K-first schedule of Algorithm 2, per-core strip execution with in-place
+partial accumulation, and full traffic/time accounting.
+
+:class:`~repro.gemm.goto.GotoGemm` is the baseline standing in for MKL,
+ARMPL and OpenBLAS — the paper models all three as Goto's algorithm
+(Section 4.1): L2-resident square A sub-blocks, an LLC-resident B panel as
+wide as the cache allows, and partial C panels streamed to and from DRAM.
+
+Both engines compute the true numerical product by executing exactly the
+tile-level operations their schedules prescribe, and both return a
+:class:`~repro.gemm.result.GemmRun` with the traffic counters and roofline
+timing the benchmarks plot.
+"""
+
+from repro.gemm.microkernel import MicroKernel
+from repro.gemm.naive import naive_matmul, reference_matmul
+from repro.gemm.counters import TrafficCounters
+from repro.gemm.plan import CakePlan, GotoPlan
+from repro.gemm.result import GemmRun
+from repro.gemm.cake import CakeGemm
+from repro.gemm.goto import GotoGemm
+from repro.gemm.blas import gemm
+
+__all__ = [
+    "MicroKernel",
+    "naive_matmul",
+    "reference_matmul",
+    "TrafficCounters",
+    "CakePlan",
+    "GotoPlan",
+    "GemmRun",
+    "CakeGemm",
+    "GotoGemm",
+    "gemm",
+]

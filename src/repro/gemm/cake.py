@@ -1,0 +1,229 @@
+"""The CAKE GEMM engine.
+
+Executes ``C = A x B`` exactly as Sections 2-4 prescribe:
+
+1. Derive a :class:`~repro.gemm.plan.CakePlan` (alpha from DRAM bandwidth,
+   ``mc = kc`` from the LRU rule, block ``p*mc x kc x alpha*p*mc``).
+2. Pack A into per-block contiguous sub-matrices and B into
+   ``kc x n_block`` panels (Section 5.2.1).
+3. Walk the K-first schedule of Algorithm 2. Within each block, the M
+   extent is split evenly across the ``p`` cores (the CB shaping puts one
+   A sub-block per core); each core sweeps the block's N extent,
+   accumulating partial C **in place** in local memory. A block's partial
+   C surface is written to DRAM only when its reduction run completes —
+   CAKE moves no partial results externally, ever (``ext_c_spill`` and
+   ``ext_c_read`` stay zero by construction, asserted in tests).
+4. Tally traffic and price each block with the roofline
+   (:func:`repro.perfmodel.roofline.block_time`).
+
+Because blocks split M evenly among cores *per block*, CAKE keeps all
+cores busy even when ``M`` is far smaller than ``p * mc`` — one of the two
+mechanisms (with partial-C elimination) behind its small-matrix advantage
+in Figures 8 and 9a.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gemm.counters import TrafficCounters
+from repro.gemm.plan import CakePlan
+from repro.gemm.result import GemmRun
+from repro.machines.spec import MachineSpec
+from repro.packing.cost import packing_cost
+from repro.packing.pack import pack_a_cake, pack_b_cake
+from repro.perfmodel.roofline import ZERO_TIME, block_time
+from repro.schedule.space import ComputationSpace
+from repro.util import ceil_div, split_length
+
+
+def _core_strips(rows: int, cores: int) -> list[int]:
+    """Split a block's M extent evenly over the cores.
+
+    Returns at most ``cores`` strip heights differing by at most the
+    rounding chunk; fewer strips than cores means idle cores (only when
+    ``rows < cores``).
+    """
+    return split_length(rows, ceil_div(rows, cores))
+
+
+class CakeGemm:
+    """CAKE matrix-multiplication engine for one machine.
+
+    Parameters
+    ----------
+    machine:
+        Platform model the run is priced on.
+    cores:
+        Cores to use (default: all of them).
+    alpha:
+        CB aspect factor; ``None`` derives it from DRAM bandwidth.
+    exact_tiles:
+        Execute every ``mr x nr`` register tile explicitly instead of one
+        vectorised panel product per core strip (slow; for validation).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        cores: int | None = None,
+        alpha: float | None = None,
+        exact_tiles: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.cores = cores
+        self.alpha = alpha
+        self.exact_tiles = exact_tiles
+
+    # -- public API ----------------------------------------------------------
+
+    def plan_for(self, m: int, n: int, k: int) -> CakePlan:
+        """The plan this engine would use for an ``m x k . k x n`` product."""
+        return CakePlan.from_problem(
+            self.machine,
+            ComputationSpace(m, n, k),
+            cores=self.cores,
+            alpha=self.alpha,
+        )
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> GemmRun:
+        """Compute ``A x B``, returning numerics plus full accounting."""
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("operands must be 2-D arrays")
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(
+                f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
+            )
+        space = ComputationSpace(a.shape[0], b.shape[1], a.shape[1])
+        return self._run(space, a=a, b=b)
+
+    def analyze(self, m: int, n: int, k: int) -> GemmRun:
+        """Traffic and timing accounting only — no numerical execution.
+
+        Exact same walk as :meth:`multiply`, with ``c=None`` in the
+        result; this is what the large-problem figure sweeps call.
+        """
+        return self._run(ComputationSpace(m, n, k))
+
+    # -- the schedule walk ----------------------------------------------------
+
+    def _run(
+        self,
+        space: ComputationSpace,
+        a: np.ndarray | None = None,
+        b: np.ndarray | None = None,
+    ) -> GemmRun:
+        machine = self.machine
+        plan = CakePlan.from_problem(
+            machine, space, cores=self.cores, alpha=self.alpha
+        )
+        grid = plan.grid()
+        order = plan.schedule()
+        kernel = plan.kernel
+
+        numeric = a is not None
+        if numeric:
+            assert b is not None
+            packed_a = pack_a_cake(a, plan.m_block, plan.kc)
+            packed_b = pack_b_cake(b, plan.kc, plan.n_block)
+            c = np.zeros((space.m, space.n), dtype=np.result_type(a, b))
+        else:
+            packed_a = packed_b = None
+            c = None
+
+        counters = TrafficCounters()
+        counters.ext_pack = 2 * (space.m * space.k + space.k * space.n)
+        pack = packing_cost(
+            machine, space.m * space.k, space.k * space.n
+        )
+        counters.macs = space.macs
+
+        total = ZERO_TIME
+        bound_blocks: dict[str, int] = {"compute": 0, "external": 0, "internal": 0}
+        progress: dict[tuple[int, int], int] = {}
+        prev = None
+
+        for coord in order:
+            ext = grid.extent(coord)
+            m0, n0, k0 = grid.origin(coord)
+
+            a_el = 0 if _same_a(prev, coord) else ext.surface_a
+            b_el = 0 if _same_b(prev, coord) else ext.surface_b
+            counters.ext_a_read += a_el
+            counters.ext_b_read += b_el
+
+            c_key = (coord.mi, coord.ni)
+            progress[c_key] = progress.get(c_key, 0) + 1
+            c_write_el = ext.surface_c if progress[c_key] == grid.kb else 0
+            counters.ext_c_write += c_write_el
+
+            strips = _core_strips(ext.m, plan.cores)
+            active = len(strips)
+            cycles = kernel.panel_tile_cycles(max(strips), ext.n, ext.k)
+            counters.tile_cycles += cycles
+
+            internal = ext.surface_a + active * ext.surface_b + 2 * ext.surface_c
+            counters.internal += internal
+
+            bt = block_time(
+                machine,
+                active_cores=active,
+                tile_cycles=cycles,
+                kc=plan.kc,
+                ext_bytes=(a_el + b_el + c_write_el) * machine.element_bytes,
+                int_elements=internal,
+            )
+            total = total + bt
+            bound_blocks[bt.bound] += 1
+
+            if numeric:
+                assert packed_a is not None and packed_b is not None and c is not None
+                a_block = packed_a.block(coord.mi, coord.ki)
+                b_panel = packed_b.panel(coord.ki, coord.ni)
+                c_view = c[m0 : m0 + ext.m, n0 : n0 + ext.n]
+                r0 = 0
+                for rows in strips:
+                    kernel.panel_matmul(
+                        a_block[r0 : r0 + rows],
+                        b_panel,
+                        c_view[r0 : r0 + rows],
+                        exact_tiles=self.exact_tiles,
+                    )
+                    r0 += rows
+
+            prev = coord
+
+        if counters.ext_c_spill or counters.ext_c_read:  # pragma: no cover
+            raise ConfigurationError(
+                "CAKE's K-first schedule must never spill partial results"
+            )
+
+        return GemmRun(
+            engine="cake",
+            machine=machine,
+            space=space,
+            cores=plan.cores,
+            counters=counters,
+            time=total,
+            packing_seconds=pack.seconds,
+            bound_blocks=bound_blocks,
+            plan_summary={
+                "alpha": plan.alpha,
+                "mc": plan.mc,
+                "kc": plan.kc,
+                "m_block": plan.m_block,
+                "n_block": plan.n_block,
+                "blocks": grid.num_blocks,
+            },
+            c=c,
+        )
+
+
+def _same_a(prev, coord) -> bool:
+    return prev is not None and (prev.mi, prev.ki) == (coord.mi, coord.ki)
+
+
+def _same_b(prev, coord) -> bool:
+    return prev is not None and (prev.ki, prev.ni) == (coord.ki, coord.ni)

@@ -1,0 +1,202 @@
+"""The GOTO baseline engine (Goto's algorithm, Section 4.1).
+
+Stands in for Intel MKL, ARM Performance Libraries and OpenBLAS — the
+paper models all three as GOTO. Loop structure (Figure 5):
+
+* outer loop over ``nc``-wide column panels of C (B panel resident in
+  the LLC),
+* middle loop over ``kc``-deep reduction slices,
+* inner loop over waves of ``p`` square ``mc x kc`` A sub-blocks, one per
+  core's L2; each core computes its own ``mc x nc`` partial C panel.
+
+The defining contrast with CAKE: **partial C panels stream to DRAM** after
+every slice and stream back for the next one, so external traffic carries
+a ``(2*Kb - 1) * M * N`` partial-result term that grows with core count in
+bandwidth terms — Section 4.1's ``BW_GOTO >= p``-scaling. Also unlike
+CAKE, the M dimension is carved into *fixed* ``mc`` strips, so when
+``M < p * mc`` some cores simply idle (visible as the flattened MKL
+speedup for small matrices in Figure 9a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gemm.counters import TrafficCounters
+from repro.gemm.plan import GotoPlan
+from repro.gemm.result import GemmRun
+from repro.machines.spec import MachineSpec
+from repro.packing.cost import packing_cost
+from repro.packing.pack import pack_a_goto, pack_b_goto
+from repro.perfmodel.roofline import ZERO_TIME, block_time
+from repro.schedule.space import ComputationSpace
+from repro.util import split_length
+
+
+class GotoGemm:
+    """GOTO matrix-multiplication engine for one machine.
+
+    Parameters mirror :class:`~repro.gemm.cake.CakeGemm` minus ``alpha``
+    (GOTO has no bandwidth-adaptive parameter — that is the point).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        cores: int | None = None,
+        exact_tiles: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.cores = cores
+        self.exact_tiles = exact_tiles
+
+    # -- public API ----------------------------------------------------------
+
+    def plan_for(self, m: int, n: int, k: int) -> GotoPlan:
+        """The plan this engine would use for an ``m x k . k x n`` product."""
+        return GotoPlan.from_problem(
+            self.machine, ComputationSpace(m, n, k), cores=self.cores
+        )
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> GemmRun:
+        """Compute ``A x B``, returning numerics plus full accounting."""
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("operands must be 2-D arrays")
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(
+                f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
+            )
+        space = ComputationSpace(a.shape[0], b.shape[1], a.shape[1])
+        return self._run(space, a=a, b=b)
+
+    def analyze(self, m: int, n: int, k: int) -> GemmRun:
+        """Traffic and timing accounting only — no numerical execution."""
+        return self._run(ComputationSpace(m, n, k))
+
+    # -- the loop nest ---------------------------------------------------------
+
+    def _run(
+        self,
+        space: ComputationSpace,
+        a: np.ndarray | None = None,
+        b: np.ndarray | None = None,
+    ) -> GemmRun:
+        machine = self.machine
+        plan = GotoPlan.from_problem(machine, space, cores=self.cores)
+        kernel = plan.kernel
+
+        numeric = a is not None
+        if numeric:
+            assert b is not None
+            packed_a = pack_a_goto(a, plan.mc, plan.kc)
+            packed_b = pack_b_goto(b, plan.kc, plan.nc)
+            c = np.zeros((space.m, space.n), dtype=np.result_type(a, b))
+        else:
+            packed_a = packed_b = None
+            c = None
+
+        counters = TrafficCounters()
+        counters.ext_pack = 2 * (space.m * space.k + space.k * space.n)
+        pack = packing_cost(machine, space.m * space.k, space.k * space.n)
+        counters.macs = space.macs
+
+        m_strips = split_length(space.m, min(plan.mc, space.m))
+        n_sizes = split_length(space.n, min(plan.nc, space.n))
+        k_sizes = split_length(space.k, min(plan.kc, space.k))
+        m_offsets = _offsets(m_strips)
+        n_offsets = _offsets(n_sizes)
+        k_offsets = _offsets(k_sizes)
+
+        total = ZERO_TIME
+        bound_blocks: dict[str, int] = {"compute": 0, "external": 0, "internal": 0}
+        last_slice = len(k_sizes) - 1
+
+        for ni, nc_actual in enumerate(n_sizes):
+            for ki, kc_actual in enumerate(k_sizes):
+                b_el = kc_actual * nc_actual
+                counters.ext_b_read += b_el
+                b_pending = b_el  # charged to the first wave of this panel
+
+                # Waves of p strips: cores beyond the remaining strip count idle.
+                for wave_start in range(0, len(m_strips), plan.cores):
+                    wave = m_strips[wave_start : wave_start + plan.cores]
+                    active = len(wave)
+                    wave_rows = sum(wave)
+
+                    a_el = wave_rows * kc_actual
+                    counters.ext_a_read += a_el
+
+                    c_el = wave_rows * nc_actual
+                    if ki == last_slice:
+                        counters.ext_c_write += c_el
+                    else:
+                        counters.ext_c_spill += c_el
+                    c_read_el = c_el if ki > 0 else 0
+                    counters.ext_c_read += c_read_el
+
+                    cycles = kernel.panel_tile_cycles(
+                        max(wave), nc_actual, kc_actual
+                    )
+                    counters.tile_cycles += cycles
+
+                    internal = a_el + active * b_el + 2 * c_el
+                    counters.internal += internal
+
+                    ext_bytes = (
+                        a_el + b_pending + c_el + c_read_el
+                    ) * machine.element_bytes
+                    b_pending = 0
+                    bt = block_time(
+                        machine,
+                        active_cores=active,
+                        tile_cycles=cycles,
+                        kc=plan.kc,
+                        ext_bytes=ext_bytes,
+                        int_elements=internal,
+                    )
+                    total = total + bt
+                    bound_blocks[bt.bound] += 1
+
+                    if numeric:
+                        assert (
+                            packed_a is not None
+                            and packed_b is not None
+                            and c is not None
+                        )
+                        b_panel = packed_b.panel(ki, ni)
+                        n0 = n_offsets[ni]
+                        for lane, rows in enumerate(wave):
+                            strip = wave_start + lane
+                            m0 = m_offsets[strip]
+                            kernel.panel_matmul(
+                                packed_a.block(strip, ki),
+                                b_panel,
+                                c[m0 : m0 + rows, n0 : n0 + nc_actual],
+                                exact_tiles=self.exact_tiles,
+                            )
+
+        return GemmRun(
+            engine="goto",
+            machine=machine,
+            space=space,
+            cores=plan.cores,
+            counters=counters,
+            time=total,
+            packing_seconds=pack.seconds,
+            bound_blocks=bound_blocks,
+            plan_summary={
+                "mc": plan.mc,
+                "kc": plan.kc,
+                "nc": plan.nc,
+                "m_strips": len(m_strips),
+            },
+            c=c,
+        )
+
+
+def _offsets(sizes: list[int]) -> list[int]:
+    out = [0]
+    for s in sizes[:-1]:
+        out.append(out[-1] + s)
+    return out

@@ -1,0 +1,252 @@
+"""Execution plans: from (machine, problem) to tiling parameters.
+
+This is where CAKE's "no design search" claim lives. A
+:class:`CakePlan` is derived *analytically*:
+
+1. ``alpha`` from available DRAM bandwidth via ``alpha >= 1/(R-1)``
+   (Section 3.2), evaluated jointly with the cache sizing — the
+   bandwidth ratio ``R`` depends (through the tile depth ``kc``) on the
+   block size the cache admits, so the smallest feasible alpha on a
+   short candidate grid is taken (see ``from_problem``);
+2. ``mc = kc`` from the LRU sizing rule ``C + 2(A+B) <= S`` (Section 4.3);
+3. block extents ``p*mc x kc x alpha*p*mc`` (Section 4.2);
+4. the K-first schedule of Algorithm 2.
+
+A :class:`GotoPlan` fills its caches instead (Section 4.1): square
+L2-resident A blocks and an LLC-filling B panel, with no bandwidth term —
+which is exactly why its DRAM demand grows with core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cb_block import CBBlock
+from repro.core.cpu_model import CakeCpuParams, GotoCpuParams
+from repro.core.lru_sizing import solve_cake_mc, solve_goto_tiles
+from repro.errors import ConfigurationError
+from repro.gemm.microkernel import MicroKernel
+from repro.machines.spec import MachineSpec
+from repro.schedule.kfirst import kfirst_schedule
+from repro.schedule.space import BlockCoord, BlockGrid, ComputationSpace
+from repro.util import require_positive
+
+#: Hard cap on the aspect factor: past this, blocks are so wide that the
+#: cache-sizing rule forces degenerate mc, and the machine is simply too
+#: bandwidth-starved for the problem.
+MAX_ALPHA = 64.0
+
+#: Candidate aspect factors for the bandwidth-matching scan.
+ALPHA_GRID: tuple[float, ...] = (
+    1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0,
+    10.0, 12.0, 16.0, 24.0, 32.0, 48.0, MAX_ALPHA,
+)
+
+
+def _resolve_cores(machine: MachineSpec, cores: int | None) -> int:
+    cores = machine.cores if cores is None else cores
+    require_positive("cores", cores)
+    if cores > machine.cores:
+        raise ConfigurationError(
+            f"requested {cores} cores but {machine.name} has {machine.cores}"
+        )
+    return cores
+
+
+def _balanced_extent(total: int, nominal: int) -> int:
+    """Even block extent: same block count as ``nominal``, sizes balanced.
+
+    ``ceil(total / ceil(total / nominal))`` — never exceeds the
+    cache-derived nominal, and leaves a remainder of at most the number
+    of blocks (instead of an arbitrarily small ragged block).
+    """
+    from repro.util import ceil_div
+
+    blocks = ceil_div(total, min(nominal, total))
+    return ceil_div(total, blocks)
+
+
+def _external_elements_per_cycle(machine: MachineSpec, kc: int) -> float:
+    """Available DRAM bandwidth in *operand* elements per model cycle.
+
+    Physical traffic exceeds counted operand traffic by the machine's
+    ``external_traffic_factor``, so the bandwidth available to operands
+    is the nominal rate divided by that factor.
+    """
+    bytes_per_second = (
+        machine.dram_bytes_per_second / machine.external_traffic_factor
+    )
+    elements_per_second = bytes_per_second / machine.element_bytes
+    return elements_per_second / machine.tile_ops_per_second(kc)
+
+
+@dataclass(frozen=True, slots=True)
+class CakePlan:
+    """Analytically-derived CAKE tiling for one (machine, problem) pair."""
+
+    machine: MachineSpec
+    space: ComputationSpace
+    cores: int
+    alpha: float
+    mc: int
+    kc: int
+
+    @classmethod
+    def from_problem(
+        cls,
+        machine: MachineSpec,
+        space: ComputationSpace,
+        *,
+        cores: int | None = None,
+        alpha: float | None = None,
+    ) -> "CakePlan":
+        """Derive the plan; ``alpha=None`` selects it from DRAM bandwidth.
+
+        Alpha selection applies the Section 3.2 feasibility condition
+        ``BW_avail >= BW_min(alpha) = ((alpha+1)/alpha) * mr * nr`` with
+        both sides evaluated *consistently*: raising alpha lowers the
+        requirement but (through the LRU sizing rule) may shrink
+        ``mc = kc``, which shortens the model cycle and lowers the
+        per-cycle supply too. The plan takes the smallest alpha on a
+        short candidate grid that satisfies the condition; when no alpha
+        is feasible (hopelessly starved DRAM), it takes the alpha with
+        the most bandwidth headroom — still a closed evaluation of
+        Section 3's equations, not a performance search.
+        """
+        cores = _resolve_cores(machine, cores)
+        if alpha is not None:
+            mc = solve_cake_mc(
+                p=cores,
+                alpha=alpha,
+                llc_elements=machine.llc_elements,
+                l2_elements=machine.l2_elements,
+                mr=machine.mr,
+                nr=machine.nr,
+            )
+            return cls(machine, space, cores, alpha, mc, mc)
+
+        best: tuple[float, float, int] | None = None  # (headroom, alpha, mc)
+        for candidate in ALPHA_GRID:
+            try:
+                mc = solve_cake_mc(
+                    p=cores,
+                    alpha=candidate,
+                    llc_elements=machine.llc_elements,
+                    l2_elements=machine.l2_elements,
+                    mr=machine.mr,
+                    nr=machine.nr,
+                )
+            except ConfigurationError:
+                break  # wider blocks can only be less feasible
+            available = _external_elements_per_cycle(machine, mc)
+            required = (candidate + 1.0) / candidate * machine.mr * machine.nr
+            headroom = available / required
+            if headroom >= 1.0:
+                return cls(machine, space, cores, candidate, mc, mc)
+            if best is None or headroom > best[0]:
+                best = (headroom, candidate, mc)
+        if best is None:
+            raise ConfigurationError(
+                f"{machine.name}: no feasible CB block for {cores} cores"
+            )
+        return cls(machine, space, cores, best[1], best[2], best[2])
+
+    @property
+    def m_block(self) -> int:
+        """CB block extent along M: ``p * mc``, balanced to the problem.
+
+        The cache-derived extent fixes how many blocks M needs; the
+        actual extent then splits M evenly across those blocks, so a
+        2000-row problem against a nominal 1920-row block becomes two
+        balanced 1000-row blocks instead of 1920 + 80 — every block keeps
+        all ``p`` cores evenly loaded. This is the "analytically shaped
+        to the problem" behaviour that lets CAKE avoid GOTO's
+        fixed-strip load imbalance on small and skewed matrices.
+        """
+        return _balanced_extent(self.space.m, self.cores * self.mc)
+
+    @property
+    def n_block(self) -> int:
+        """CB block extent along N: ``alpha * p * mc``, balanced likewise."""
+        nominal = max(int(self.alpha * self.cores * self.mc), self.machine.nr)
+        return _balanced_extent(self.space.n, nominal)
+
+    @property
+    def block(self) -> CBBlock:
+        """The nominal CB block."""
+        return CBBlock(m=self.m_block, n=self.n_block, k=self.kc)
+
+    @property
+    def kernel(self) -> MicroKernel:
+        """The register-tile micro-kernel this plan drives."""
+        return MicroKernel(mr=self.machine.mr, nr=self.machine.nr, kc=self.kc)
+
+    @property
+    def cpu_params(self) -> CakeCpuParams:
+        """The plan as Section 4.2 parameters (for the equation layer)."""
+        return CakeCpuParams(
+            p=self.cores,
+            mc=self.mc,
+            kc=self.kc,
+            alpha=self.alpha,
+            mr=self.machine.mr,
+            nr=self.machine.nr,
+        )
+
+    def grid(self) -> BlockGrid:
+        """Partition the problem space with this plan's CB block."""
+        return BlockGrid(self.space, self.block)
+
+    def schedule(self) -> list[BlockCoord]:
+        """The K-first block order of Algorithm 2."""
+        return kfirst_schedule(self.grid())
+
+
+@dataclass(frozen=True, slots=True)
+class GotoPlan:
+    """Cache-filling GOTO tiling (Section 4.1) for the baseline engine."""
+
+    machine: MachineSpec
+    space: ComputationSpace
+    cores: int
+    mc: int
+    kc: int
+    nc: int
+
+    @classmethod
+    def from_problem(
+        cls,
+        machine: MachineSpec,
+        space: ComputationSpace,
+        *,
+        cores: int | None = None,
+    ) -> "GotoPlan":
+        """Derive GOTO tiles from the machine's cache sizes alone."""
+        cores = _resolve_cores(machine, cores)
+        params = solve_goto_tiles(
+            p=cores,
+            llc_elements=machine.llc_elements,
+            l2_elements=machine.l2_elements,
+            mr=machine.mr,
+            nr=machine.nr,
+        )
+        return cls(
+            machine, space, cores, mc=params.mc, kc=params.kc, nc=params.nc
+        )
+
+    @property
+    def kernel(self) -> MicroKernel:
+        """The register-tile micro-kernel this plan drives."""
+        return MicroKernel(mr=self.machine.mr, nr=self.machine.nr, kc=self.kc)
+
+    @property
+    def cpu_params(self) -> GotoCpuParams:
+        """The plan as Section 4.1 parameters (for the equation layer)."""
+        return GotoCpuParams(
+            p=self.cores,
+            mc=self.mc,
+            kc=self.kc,
+            nc=self.nc,
+            mr=self.machine.mr,
+            nr=self.machine.nr,
+        )

@@ -1,0 +1,109 @@
+"""The GemmRun result type returned by every engine.
+
+Bundles the numerical product with the traffic counters, the roofline time
+breakdown, and the derived metrics the paper plots: computation throughput
+in GFLOP/s (Figures 9-12 b-panels) and average observed DRAM bandwidth in
+GB/s (Figures 10a/11a/12a). Packing time and traffic are included in both,
+as in the paper's measurements (Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gemm.counters import TrafficCounters
+from repro.machines.spec import MachineSpec
+from repro.perfmodel.roofline import BlockTime
+from repro.schedule.space import ComputationSpace
+
+
+@dataclass(slots=True)
+class GemmRun:
+    """Everything one engine execution produced.
+
+    Attributes
+    ----------
+    c:
+        The numerical product (``None`` for analytic-only runs).
+    engine:
+        ``"cake"`` or ``"goto"``.
+    machine:
+        The machine the run was priced on.
+    space:
+        Problem extents.
+    cores:
+        Cores used.
+    counters:
+        Element-level traffic tallies.
+    time:
+        Summed roofline breakdown over all blocks (excludes packing).
+    packing_seconds:
+        Time charged to packing A and B.
+    bound_blocks:
+        How many blocks each resource bounded — the bottleneck histogram
+        behind the paper's narrative for each platform.
+    plan_summary:
+        The tiling parameters the plan chose, for reporting.
+    """
+
+    engine: str
+    machine: MachineSpec
+    space: ComputationSpace
+    cores: int
+    counters: TrafficCounters
+    time: BlockTime
+    packing_seconds: float
+    bound_blocks: dict[str, int] = field(default_factory=dict)
+    plan_summary: dict[str, float] = field(default_factory=dict)
+    c: np.ndarray | None = None
+
+    @property
+    def seconds(self) -> float:
+        """Wall time: block execution plus packing."""
+        return self.time.seconds + self.packing_seconds
+
+    @property
+    def flops(self) -> int:
+        """Useful floating-point operations (``2 * M * N * K``)."""
+        return self.space.flops
+
+    @property
+    def gflops(self) -> float:
+        """Computation throughput, packing overhead included."""
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def dram_bytes(self) -> float:
+        """Physical external traffic in bytes, packing included.
+
+        Counted operand bytes scaled by the machine's
+        ``external_traffic_factor`` — the quantity a hardware DRAM
+        counter (and hence the paper's a-panels) reports.
+        """
+        return (
+            self.counters.ext_total_bytes(self.machine.element_bytes)
+            * self.machine.external_traffic_factor
+        )
+
+    @property
+    def dram_gb_per_s(self) -> float:
+        """Average observed DRAM bandwidth over the whole run."""
+        return self.dram_bytes / self.seconds / 1e9
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per external byte actually moved."""
+        return self.flops / self.dram_bytes
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline metrics (used by the bench harness)."""
+        return {
+            "gflops": self.gflops,
+            "seconds": self.seconds,
+            "dram_gb_per_s": self.dram_gb_per_s,
+            "dram_bytes": float(self.dram_bytes),
+            "arithmetic_intensity": self.arithmetic_intensity,
+            "packing_seconds": self.packing_seconds,
+        }

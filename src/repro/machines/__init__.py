@@ -1,0 +1,53 @@
+"""Machine models — Table 2 of the paper plus internal-bandwidth curves.
+
+A :class:`~repro.machines.spec.MachineSpec` captures everything the CAKE
+analysis needs about a platform: core count and per-core sustained compute
+rate, the cache hierarchy, DRAM bandwidth/capacity, the micro-kernel tile
+shape, and an internal (LLC-to-cores) bandwidth curve standing in for the
+paper's pmbw measurements.
+
+The three presets reproduce Table 2:
+
+=====================  =====  =====  ======  ======  =====  ==============
+CPU                    L1     L2     LLC     DRAM    Cores  DRAM bandwidth
+=====================  =====  =====  ======  ======  =====  ==============
+Intel i9-10900K        32KiB  256KiB 20MiB   32GB    10     40 GB/s
+AMD Ryzen 9 5950X      32KiB  512KiB 64MiB   128GB   16     47 GB/s
+ARM v8 Cortex-A53      16KiB  512KiB (L2)    1GB     4      2 GB/s
+=====================  =====  =====  ======  ======  =====  ==============
+
+(The A53 has no L3; its shared L2 is the last-level cache, as in the paper.)
+"""
+
+from repro.machines.internal_bw import InternalBandwidthCurve, SaturatingCurve
+from repro.machines.spec import MachineSpec
+from repro.machines.presets import (
+    amd_ryzen_9_5950x,
+    arm_cortex_a53,
+    intel_i9_10900k,
+    preset,
+    PRESET_NAMES,
+)
+from repro.machines.extrapolate import extrapolated_machine
+from repro.machines.technologies import (
+    MEMORY_TECHNOLOGIES,
+    ddr_machine,
+    hbm_stacked_machine,
+    nvm_machine,
+)
+
+__all__ = [
+    "MEMORY_TECHNOLOGIES",
+    "ddr_machine",
+    "hbm_stacked_machine",
+    "nvm_machine",
+    "InternalBandwidthCurve",
+    "SaturatingCurve",
+    "MachineSpec",
+    "amd_ryzen_9_5950x",
+    "arm_cortex_a53",
+    "intel_i9_10900k",
+    "preset",
+    "PRESET_NAMES",
+    "extrapolated_machine",
+]

@@ -1,0 +1,48 @@
+"""Grown-machine extrapolation (dotted lines of Figures 10-12).
+
+The paper extrapolates CAKE and the vendor library beyond the physical core
+count under three explicit assumptions:
+
+1. internal bandwidth keeps increasing **proportionally** with each
+   additional core (the measured knee is removed),
+2. local-memory (LLC) size increases **quadratically** with the number of
+   cores (what Eq. 5 requires for CAKE to stay constant-bandwidth),
+3. DRAM bandwidth stays **fixed**.
+
+:func:`extrapolated_machine` applies exactly those assumptions to a base
+spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.machines.internal_bw import SaturatingCurve
+from repro.machines.spec import MachineSpec
+from repro.util import require_positive
+
+
+def extrapolated_machine(base: MachineSpec, cores: int) -> MachineSpec:
+    """A hypothetical ``cores``-core version of ``base``.
+
+    LLC capacity scales as ``(cores / base.cores)^2``; the internal
+    bandwidth curve is linearised (no knee); DRAM bandwidth and all other
+    parameters stay fixed. With ``cores <= base.cores`` the spec is simply
+    restricted (no scaling), matching how the paper's dotted lines take
+    over only beyond the measured range.
+    """
+    require_positive("cores", cores)
+    if cores <= base.cores:
+        return base.with_cores(cores)
+    if not isinstance(base.internal_bw, SaturatingCurve):
+        raise ConfigurationError(
+            "extrapolation requires a SaturatingCurve internal-bandwidth model"
+        )
+    growth = cores / base.cores
+    return replace(
+        base,
+        cores=cores,
+        llc_bytes=int(base.llc_bytes * growth * growth),
+        internal_bw=base.internal_bw.linearised(),
+    )

@@ -1,0 +1,83 @@
+"""Internal (last-level-cache to cores) bandwidth curves.
+
+The paper measures these with pmbw (Figures 10c, 11c, 12c) and uses them to
+explain where CAKE's observed DRAM bandwidth departs from the theoretical
+optimum:
+
+* **Intel i9-10900K** — internal bandwidth stops scaling proportionally past
+  6 cores, so CAKE's DRAM bandwidth creeps above optimal at 9-10 cores.
+* **ARM Cortex-A53** — internal bandwidth is flat beyond 2 cores, so CAKE's
+  DRAM bandwidth rises above optimal at 3-4 cores.
+* **AMD Ryzen 9 5950X** — internal bandwidth grows ~50 GB/s per core,
+  roughly linearly, so CAKE is never internal-bandwidth bound.
+
+:class:`SaturatingCurve` models all three shapes with a per-core slope up to
+a knee and a (small) post-knee slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.util import require_nonnegative, require_positive
+
+
+@runtime_checkable
+class InternalBandwidthCurve(Protocol):
+    """Bandwidth (GB/s) available between the LLC and ``cores`` active cores."""
+
+    def bandwidth_gb_per_s(self, cores: int) -> float:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class SaturatingCurve:
+    """Piecewise-linear internal-bandwidth curve with a saturation knee.
+
+    ``bw(c) = per_core * min(c, knee) + per_core * post_knee_fraction * max(0, c - knee)``
+
+    Attributes
+    ----------
+    per_core_gb_per_s:
+        Bandwidth added per core while scaling is proportional.
+    knee_cores:
+        Core count past which proportional scaling stops.
+    post_knee_fraction:
+        Fraction of ``per_core_gb_per_s`` each core beyond the knee still
+        contributes (0 = completely flat, 1 = never saturates).
+    """
+
+    per_core_gb_per_s: float
+    knee_cores: int
+    post_knee_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("per_core_gb_per_s", self.per_core_gb_per_s)
+        require_positive("knee_cores", self.knee_cores)
+        require_nonnegative("post_knee_fraction", self.post_knee_fraction)
+        if self.post_knee_fraction > 1.0:
+            raise ValueError(
+                "post_knee_fraction must be <= 1.0, got "
+                f"{self.post_knee_fraction}"
+            )
+
+    def bandwidth_gb_per_s(self, cores: int) -> float:
+        """Internal bandwidth in GB/s with ``cores`` cores active."""
+        require_positive("cores", cores)
+        linear = min(cores, self.knee_cores)
+        excess = max(0, cores - self.knee_cores)
+        return self.per_core_gb_per_s * (linear + self.post_knee_fraction * excess)
+
+    def linearised(self) -> "SaturatingCurve":
+        """The knee-free curve used by the paper's extrapolations.
+
+        Figures 10-12 draw dotted lines "assuming internal memory bandwidth
+        increases proportionally for each additional core"; this returns
+        that idealised version of the curve.
+        """
+        return SaturatingCurve(
+            per_core_gb_per_s=self.per_core_gb_per_s,
+            knee_cores=2**31,
+            post_knee_fraction=1.0,
+        )

@@ -1,0 +1,75 @@
+"""Hypothetical machines built on emerging memory technologies.
+
+Section 1 motivates CAKE with "architectures [that] may arise as a result
+of emerging technologies such as special-purpose accelerators, low-power
+systems, 3D DRAM die stacking and high-capacity non-volatile memory
+(NVM)". These presets realise that spectrum around a common compute
+complex (the Intel preset's cores and caches), so the *only* thing that
+varies is the external memory:
+
+* :func:`hbm_stacked_machine` — 3D-stacked DRAM: external bandwidth so
+  high the memory wall effectively disappears. GOTO's linear bandwidth
+  demand is easily paid; CAKE's advantage narrows to energy.
+* :func:`ddr_machine` — the baseline desktop DDR channel (the Intel
+  preset itself).
+* :func:`nvm_machine` — high-capacity non-volatile main memory: huge
+  capacity, a fraction of DDR's bandwidth and efficiency. The memory
+  wall at its starkest; GOTO collapses, CAKE stretches alpha.
+
+The memory-technology bench sweeps GEMM across all three with both
+engines, reproducing the paper's framing: the faster the external memory,
+the less CAKE's discipline matters — and the slower it is, the more.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.machines.presets import intel_i9_10900k
+from repro.machines.spec import MachineSpec
+from repro.util.units import BYTES_PER_GIB
+
+
+def ddr_machine() -> MachineSpec:
+    """Baseline: a dual-channel DDR4 desktop (the Intel i9 preset)."""
+    return dataclasses.replace(intel_i9_10900k(), name="DDR4 desktop")
+
+
+def hbm_stacked_machine() -> MachineSpec:
+    """3D die-stacked DRAM: ~8x the external bandwidth at full efficiency.
+
+    Modelled on an HBM2-class stack (hundreds of GB/s to a CPU-sized
+    compute complex); capacity is modest, as stacks are.
+    """
+    return dataclasses.replace(
+        intel_i9_10900k(),
+        name="3D-stacked HBM system",
+        dram_gb_per_s=320.0,
+        dram_efficiency=0.9,
+        dram_bytes=16 * BYTES_PER_GIB,
+        dram_latency_cycles=220,
+    )
+
+
+def nvm_machine() -> MachineSpec:
+    """High-capacity NVM as main memory: vast, slow, write-averse.
+
+    Modelled on Optane-class persistent memory: ~1/5th the read
+    bandwidth of DDR, poor mixed-stream efficiency, long latency, huge
+    capacity.
+    """
+    return dataclasses.replace(
+        intel_i9_10900k(),
+        name="NVM main-memory system",
+        dram_gb_per_s=8.0,
+        dram_efficiency=0.6,
+        dram_bytes=512 * BYTES_PER_GIB,
+        dram_latency_cycles=900,
+    )
+
+
+MEMORY_TECHNOLOGIES = {
+    "hbm": hbm_stacked_machine,
+    "ddr": ddr_machine,
+    "nvm": nvm_machine,
+}

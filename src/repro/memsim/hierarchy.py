@@ -1,0 +1,150 @@
+"""Multi-level memory hierarchy assembled from a MachineSpec.
+
+Levels (Figure 1 of the paper): a private L1 and L2 per core, a shared
+last-level cache, and DRAM. On machines whose shared LLC *is* the L2 (ARM
+Cortex-A53) the private side is just the L1.
+
+Each access names a core, an opaque object key (a tile/panel/block
+identity) and its size. The request walks outward until some level holds
+the object; the serving level's latency is charged as stall cycles — the
+exact accounting VTune's memory-bound analysis reports, which is how
+Figure 7a is read.
+
+Inclusive allocation: a miss installs the object at every level on the
+way in (subject to each level's capacity; objects bigger than a level
+stream through it without being retained — :class:`~repro.memsim.lru.LRUCache`
+semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.machines.spec import MachineSpec
+from repro.memsim.lru import LRUCache
+from repro.util import require_positive
+
+#: Serving-level names, innermost to outermost.
+LEVELS = ("L1", "L2", "LLC", "DRAM")
+
+
+@dataclass(slots=True)
+class LevelStats:
+    """Aggregate view of one level across all cores."""
+
+    level: str
+    hits: int
+    misses: int
+    stall_cycles: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+class MemoryHierarchy:
+    """Per-core private caches + shared LLC + DRAM, with stall accounting.
+
+    Parameters
+    ----------
+    machine:
+        Supplies capacities, latencies and core count.
+    cores:
+        Number of cores issuing requests (default: all).
+    """
+
+    def __init__(self, machine: MachineSpec, cores: int | None = None) -> None:
+        self.machine = machine
+        self.cores = machine.cores if cores is None else cores
+        require_positive("cores", self.cores)
+        self._l1 = [
+            LRUCache(machine.l1_bytes, name=f"L1[{c}]") for c in range(self.cores)
+        ]
+        self._has_private_l2 = not machine.llc_is_l2
+        self._l2 = (
+            [
+                LRUCache(machine.l2_bytes, name=f"L2[{c}]")
+                for c in range(self.cores)
+            ]
+            if self._has_private_l2
+            else []
+        )
+        self._llc = LRUCache(machine.llc_bytes, name="LLC")
+        self._latency = {
+            "L1": machine.l1_latency_cycles,
+            "L2": machine.l2_latency_cycles,
+            "LLC": machine.llc_latency_cycles,
+            "DRAM": machine.dram_latency_cycles,
+        }
+        self._stall_cycles = {lvl: 0 for lvl in LEVELS}
+        self._serves = {lvl: 0 for lvl in LEVELS}
+        #: Fill traffic from DRAM plus explicit write-backs; dirty LLC
+        #: evictions are added at reporting time (see ``dram_bytes``).
+        self._dram_fill_bytes = 0
+
+    # -- request path -----------------------------------------------------
+
+    def access(
+        self, core: int, key: Hashable, size_bytes: int, *, write: bool = False
+    ) -> str:
+        """Issue one request; returns the name of the serving level."""
+        if not 0 <= core < self.cores:
+            raise ValueError(f"core {core} outside 0..{self.cores - 1}")
+
+        served = "DRAM"
+        if self._l1[core].access(key, size_bytes, write=write):
+            served = "L1"
+        elif self._has_private_l2 and self._l2[core].access(
+            key, size_bytes, write=write
+        ):
+            served = "L2"
+        elif self._llc.access(key, size_bytes, write=write):
+            served = "LLC"
+        else:
+            self._dram_fill_bytes += size_bytes
+
+        self._serves[served] += 1
+        self._stall_cycles[served] += self._latency[served]
+        return served
+
+    def write_back(self, size_bytes: int) -> None:
+        """Account an explicit write of completed results to DRAM."""
+        require_positive("size_bytes", size_bytes)
+        self._dram_fill_bytes += size_bytes
+
+    @property
+    def dram_bytes(self) -> int:
+        """All DRAM traffic: fills, explicit write-backs, and dirty
+        evictions pushed out of the last-level cache."""
+        return self._dram_fill_bytes + self._llc.stats.writeback_bytes
+
+    # -- reporting ----------------------------------------------------------
+
+    def level_stats(self) -> dict[str, LevelStats]:
+        """Per-level aggregate: hits there, misses past it, stalls charged.
+
+        ``hits`` at level X = requests served by X. ``misses`` = requests
+        that had to look beyond X. DRAM "hits" are requests DRAM served.
+        """
+        total = sum(self._serves.values())
+        out: dict[str, LevelStats] = {}
+        beyond = total
+        for lvl in LEVELS:
+            served = self._serves[lvl]
+            beyond -= served
+            out[lvl] = LevelStats(
+                level=lvl,
+                hits=served,
+                misses=beyond,
+                stall_cycles=self._stall_cycles[lvl],
+            )
+        return out
+
+    def stall_profile(self) -> dict[str, int]:
+        """Stall cycles charged to each level (the Figure 7a bars)."""
+        return dict(self._stall_cycles)
+
+    def dram_accesses(self) -> int:
+        """Requests that reached DRAM (the Figure 7b right-hand bars)."""
+        return self._serves["DRAM"]

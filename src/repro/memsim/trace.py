@@ -1,0 +1,87 @@
+"""Recordable, replayable memory traces.
+
+A :class:`TraceRecorder` wraps a :class:`~repro.memsim.hierarchy.MemoryHierarchy`
+and logs every request as an :class:`Access` record. Traces can be
+replayed into a *different* hierarchy — the workflow for what-if studies
+("same CAKE schedule, half the LLC") without re-running the engine — and
+serialised to a compact text form for fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.util import require_positive
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One memory request: who asked, for what, how big, read or write."""
+
+    core: int
+    key: Hashable
+    size_bytes: int
+    write: bool = False
+
+
+class TraceRecorder:
+    """Pass-through wrapper logging every access to an in-memory trace."""
+
+    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+        self.hierarchy = hierarchy
+        self.trace: list[Access] = []
+
+    def access(
+        self, core: int, key: Hashable, size_bytes: int, *, write: bool = False
+    ) -> str:
+        """Forward to the wrapped hierarchy, recording the request."""
+        self.trace.append(Access(core, key, size_bytes, write))
+        return self.hierarchy.access(core, key, size_bytes, write=write)
+
+    def write_back(self, size_bytes: int) -> None:
+        """Forwarded verbatim (write-backs are not per-core requests)."""
+        self.hierarchy.write_back(size_bytes)
+
+
+def replay(trace: Iterable[Access], hierarchy: MemoryHierarchy) -> MemoryHierarchy:
+    """Replay a recorded trace into a fresh hierarchy; returns it."""
+    for acc in trace:
+        hierarchy.access(acc.core, acc.key, acc.size_bytes, write=acc.write)
+    return hierarchy
+
+
+def dumps(trace: Iterable[Access]) -> str:
+    """Serialise a trace to a line-per-access text form.
+
+    Keys are rendered with ``repr``; only keys whose repr round-trips
+    through ``eval`` of literals (tuples of strings/ints — what the
+    profile generators emit) are supported by :func:`loads`.
+    """
+    lines = []
+    for acc in trace:
+        rw = "W" if acc.write else "R"
+        lines.append(f"{acc.core}\t{rw}\t{acc.size_bytes}\t{acc.key!r}")
+    return "\n".join(lines)
+
+
+def loads(text: str) -> Iterator[Access]:
+    """Parse the :func:`dumps` format back into Access records."""
+    import ast
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            core_s, rw, size_s, key_s = line.split("\t")
+            size = int(size_s)
+            require_positive("size_bytes", size)
+            yield Access(
+                core=int(core_s),
+                key=ast.literal_eval(key_s),
+                size_bytes=size,
+                write=rw == "W",
+            )
+        except (ValueError, SyntaxError) as exc:
+            raise ValueError(f"malformed trace line {lineno}: {line!r}") from exc

@@ -1,0 +1,33 @@
+"""Operand packing into contiguous blocked buffers (Section 5.2.1).
+
+GEMM libraries — CAKE included — copy their operands into contiguous
+buffers laid out in the order the kernel will touch them, which minimises
+cache evictions and prevents cache self-interference. Packing costs real
+memory traffic (each packed element is read once and written once through
+DRAM), and the paper includes that overhead in every measurement; for
+skewed shapes it can be a significant fraction of total time.
+
+:mod:`repro.packing.pack` builds the blocked buffers the executors consume;
+:mod:`repro.packing.cost` charges for them.
+"""
+
+from repro.packing.pack import (
+    PackedA,
+    PackedB,
+    pack_a_cake,
+    pack_a_goto,
+    pack_b_cake,
+    pack_b_goto,
+)
+from repro.packing.cost import PackingCost, packing_cost
+
+__all__ = [
+    "PackedA",
+    "PackedB",
+    "pack_a_cake",
+    "pack_a_goto",
+    "pack_b_cake",
+    "pack_b_goto",
+    "PackingCost",
+    "packing_cost",
+]

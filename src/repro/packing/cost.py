@@ -1,0 +1,50 @@
+"""Cost model for packing (Section 5.2.1).
+
+Packing is a streaming copy: every element of A and B is read from its
+source layout and written to the packed buffer. Both streams cross the
+DRAM interface for matrices larger than the LLC, so the charge is
+``2 * (elements_A + elements_B) * element_bytes`` against DRAM bandwidth.
+The paper includes this overhead in all throughput and bandwidth
+measurements; :func:`packing_cost` lets the executors do the same, and the
+``bench_packing_overhead`` bench reports the packing fraction for skewed
+shapes where it becomes significant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.spec import MachineSpec
+from repro.util import require_nonnegative
+
+
+@dataclass(frozen=True, slots=True)
+class PackingCost:
+    """Time and traffic charged to packing."""
+
+    bytes_moved: int
+    seconds: float
+
+    def __add__(self, other: "PackingCost") -> "PackingCost":
+        return PackingCost(
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            seconds=self.seconds + other.seconds,
+        )
+
+
+def packing_cost(
+    machine: MachineSpec, elements_a: int, elements_b: int
+) -> PackingCost:
+    """Charge for packing A and B once each.
+
+    Each packed element is read once and written once, so the DRAM-side
+    traffic is twice the operand footprint.
+    """
+    require_nonnegative("elements_a", elements_a)
+    require_nonnegative("elements_b", elements_b)
+    bytes_moved = 2 * (elements_a + elements_b) * machine.element_bytes
+    seconds = (
+        bytes_moved * machine.external_traffic_factor
+        / machine.dram_bytes_per_second
+    )
+    return PackingCost(bytes_moved=bytes_moved, seconds=seconds)

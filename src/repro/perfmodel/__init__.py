@@ -1,0 +1,32 @@
+"""Performance model: roofline timing of block schedules on a machine.
+
+The model follows the paper's Section 4 reasoning: a block (CAKE CB block
+or GOTO super-step wave) takes the *maximum* of its compute time, its
+external-IO time, and its internal-IO time — IO overlaps computation, and
+whichever resource is scarcest bounds the block. Summing over the schedule
+(plus packing) yields wall time; dividing external traffic by wall time
+yields the observed DRAM bandwidth the paper plots in Figures 10a/11a/12a.
+
+:mod:`repro.perfmodel.roofline` prices one block;
+:mod:`repro.perfmodel.predict` prices whole problems analytically (without
+touching numerics) so the 23040x23040 sweeps of Figures 10-12 run in
+milliseconds; :mod:`repro.perfmodel.optimal` evaluates the paper's
+"CAKE optimal" dashed DRAM-bandwidth curve (Equation 4).
+"""
+
+from repro.perfmodel.roofline import BlockTime, block_time
+from repro.perfmodel.predict import PerfPrediction, predict_cake, predict_goto
+from repro.perfmodel.optimal import cake_optimal_dram_gb_per_s
+from repro.perfmodel.energy import EnergyModel, EnergyReport, estimate_energy
+
+__all__ = [
+    "BlockTime",
+    "block_time",
+    "PerfPrediction",
+    "predict_cake",
+    "predict_goto",
+    "cake_optimal_dram_gb_per_s",
+    "EnergyModel",
+    "EnergyReport",
+    "estimate_energy",
+]

@@ -1,0 +1,87 @@
+"""Data-movement energy model.
+
+The paper's closing argument for trading external for internal traffic:
+"relying on local memory is generally preferable since DRAM has
+relatively high latency and **power consumption**" (Conclusion, citing
+Vogelsang's DRAM energy analysis [29]). This module quantifies that
+trade: energy is charged per byte moved at each interface plus a per-FLOP
+compute term, using widely-cited planning numbers (DRAM access costs
+roughly an order of magnitude more per byte than an on-chip SRAM access,
+which itself dwarfs the cost of an arithmetic operation).
+
+The defaults are deliberately round planning values, not measurements of
+any specific part; the *ratio* between levels is what drives the
+CAKE-vs-GOTO comparison, and that ratio is robust across the literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a package-import cycle
+    from repro.gemm.result import GemmRun
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyModel:
+    """Per-byte / per-FLOP energy coefficients (picojoules)."""
+
+    dram_pj_per_byte: float = 160.0  # ~20 pJ/bit LPDDR/DDR access+IO
+    internal_pj_per_byte: float = 12.0  # large shared SRAM access
+    compute_pj_per_flop: float = 2.0  # fp32 FMA + register traffic
+
+    def __post_init__(self) -> None:
+        require_positive("dram_pj_per_byte", self.dram_pj_per_byte)
+        require_positive("internal_pj_per_byte", self.internal_pj_per_byte)
+        require_positive("compute_pj_per_flop", self.compute_pj_per_flop)
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyReport:
+    """Energy breakdown of one GEMM run, in joules."""
+
+    dram_joules: float
+    internal_joules: float
+    compute_joules: float
+    flops: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.dram_joules + self.internal_joules + self.compute_joules
+
+    @property
+    def dram_fraction(self) -> float:
+        """Share of total energy spent on external memory traffic."""
+        return self.dram_joules / self.total_joules
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Energy efficiency: FLOP/J numerically equals FLOPS/W."""
+        return self.flops / self.total_joules / 1e9
+
+
+def estimate_energy(run: "GemmRun", model: EnergyModel | None = None) -> EnergyReport:
+    """Charge a run's counted traffic and arithmetic against ``model``.
+
+    External bytes use the machine's physical-traffic scaling (the same
+    ``external_traffic_factor`` the bandwidth accounting uses); internal
+    logical traffic likewise.
+    """
+    model = EnergyModel() if model is None else model
+    machine = run.machine
+    dram_bytes = run.dram_bytes  # already physically scaled
+    internal_bytes = (
+        run.counters.internal
+        * machine.element_bytes
+        * machine.internal_traffic_factor
+    )
+    flops = 2.0 * run.counters.macs
+    return EnergyReport(
+        dram_joules=dram_bytes * model.dram_pj_per_byte * 1e-12,
+        internal_joules=internal_bytes * model.internal_pj_per_byte * 1e-12,
+        compute_joules=flops * model.compute_pj_per_flop * 1e-12,
+        flops=flops,
+    )

@@ -1,0 +1,42 @@
+"""CAKE's theoretically optimal DRAM bandwidth — the dashed curve of
+Figures 10a and 11a.
+
+Equation 4 gives the external bandwidth a CB block *requires*:
+``BW_ext = ((alpha + 1) / alpha) * mr * nr`` elements per model cycle,
+independent of core count. Converted to GB/s at the machine's tile rate,
+this is the flat dashed "CAKE Optimal" line the paper plots against
+observed usage.
+"""
+
+from __future__ import annotations
+
+from repro.core.cpu_model import cake_external_bw
+from repro.machines.spec import MachineSpec
+from repro.schedule.space import ComputationSpace
+
+
+def cake_optimal_dram_gb_per_s(
+    machine: MachineSpec,
+    *,
+    cores: int | None = None,
+    m: int = 1,
+    n: int = 1,
+    k: int = 1,
+) -> float:
+    """Equation 4 in GB/s for ``machine`` (and optionally a problem).
+
+    The problem extents only matter through the plan's chosen
+    ``(alpha, kc)``; defaults give the asymptotic large-problem value.
+    """
+    from repro.gemm.plan import CakePlan  # local import: avoids package cycle
+
+    space = ComputationSpace(max(m, 1), max(n, 1), max(k, 1))
+    plan = CakePlan.from_problem(machine, space, cores=cores)
+    elements_per_cycle = cake_external_bw(plan.cpu_params)
+    bytes_per_second = (
+        elements_per_cycle
+        * machine.tile_ops_per_second(plan.kc)
+        * machine.element_bytes
+        * machine.external_traffic_factor
+    )
+    return bytes_per_second / 1e9

@@ -1,0 +1,78 @@
+"""Whole-problem performance prediction.
+
+These wrappers run the engines' *analytic* walk (identical code path to
+numerical execution, minus the arithmetic) and repackage the result as a
+:class:`PerfPrediction` — one point on a paper figure. The 23040 x 23040
+sweeps of Figures 10-12 are thousands of block evaluations, which complete
+in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.spec import MachineSpec
+
+
+@dataclass(frozen=True, slots=True)
+class PerfPrediction:
+    """One (machine, engine, cores, problem) performance point."""
+
+    engine: str
+    machine_name: str
+    cores: int
+    m: int
+    n: int
+    k: int
+    gflops: float
+    seconds: float
+    dram_gb_per_s: float
+    bound_blocks: dict[str, int]
+    plan_summary: dict[str, float]
+
+
+def predict_cake(
+    machine: MachineSpec,
+    m: int,
+    n: int,
+    k: int,
+    *,
+    cores: int | None = None,
+    alpha: float | None = None,
+) -> PerfPrediction:
+    """Predicted CAKE performance for ``m x k . k x n`` on ``machine``."""
+    from repro.gemm.cake import CakeGemm  # local import: avoids package cycle
+
+    run = CakeGemm(machine, cores=cores, alpha=alpha).analyze(m, n, k)
+    return _package(run)
+
+
+def predict_goto(
+    machine: MachineSpec,
+    m: int,
+    n: int,
+    k: int,
+    *,
+    cores: int | None = None,
+) -> PerfPrediction:
+    """Predicted GOTO (MKL/ARMPL/OpenBLAS-model) performance."""
+    from repro.gemm.goto import GotoGemm  # local import: avoids package cycle
+
+    run = GotoGemm(machine, cores=cores).analyze(m, n, k)
+    return _package(run)
+
+
+def _package(run) -> PerfPrediction:
+    return PerfPrediction(
+        engine=run.engine,
+        machine_name=run.machine.name,
+        cores=run.cores,
+        m=run.space.m,
+        n=run.space.n,
+        k=run.space.k,
+        gflops=run.gflops,
+        seconds=run.seconds,
+        dram_gb_per_s=run.dram_gb_per_s,
+        bound_blocks=dict(run.bound_blocks),
+        plan_summary=dict(run.plan_summary),
+    )

@@ -1,0 +1,104 @@
+"""Roofline pricing of a single scheduled block.
+
+One *model cycle* is one register-tile multiply per core (see
+:mod:`repro.machines.spec`). A block that needs ``tile_cycles`` cycles of
+compute, ``ext_bytes`` of DRAM traffic and ``int_elements`` of logical
+LLC-to-core traffic completes in::
+
+    max(compute_time, external_io_time, internal_io_time)
+
+because the engines stream IO concurrently with computation (Section 2.1:
+"the IO time for the three surfaces will match the computation time ...
+allowing IO to overlap computation"). The returned breakdown records which
+resource bound the block — the aggregate tallies reproduce the paper's
+bottleneck narratives (GOTO external-bound on ARM, CAKE internal-bound at
+high core counts, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.machines.spec import MachineSpec
+from repro.util import require_nonnegative, require_positive
+
+Bound = Literal["compute", "external", "internal"]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockTime:
+    """Priced execution of one block."""
+
+    seconds: float
+    compute_seconds: float
+    external_seconds: float
+    internal_seconds: float
+    bound: Bound
+
+    def __add__(self, other: "BlockTime") -> "BlockTime":
+        return BlockTime(
+            seconds=self.seconds + other.seconds,
+            compute_seconds=self.compute_seconds + other.compute_seconds,
+            external_seconds=self.external_seconds + other.external_seconds,
+            internal_seconds=self.internal_seconds + other.internal_seconds,
+            bound=self.bound if self.seconds >= other.seconds else other.bound,
+        )
+
+
+ZERO_TIME = BlockTime(0.0, 0.0, 0.0, 0.0, "compute")
+
+
+def block_time(
+    machine: MachineSpec,
+    *,
+    active_cores: int,
+    tile_cycles: float,
+    kc: int,
+    ext_bytes: float,
+    int_elements: float,
+) -> BlockTime:
+    """Price one block on ``machine``.
+
+    Parameters
+    ----------
+    active_cores:
+        Cores participating in the block (sets internal-bandwidth supply).
+    tile_cycles:
+        Model cycles of the critical-path core (the most-loaded one), in
+        units of depth-``kc`` tile multiplies.
+    kc:
+        Nominal tile depth, fixing the cycle-to-seconds conversion.
+    ext_bytes:
+        Counted DRAM operand traffic attributable to the block (fetches
+        plus write-backs); scaled by the machine's
+        ``external_traffic_factor`` to physical traffic.
+    int_elements:
+        Logical operand elements moved between LLC and cores; scaled by
+        the machine's ``internal_traffic_factor`` to physical traffic.
+    """
+    require_positive("active_cores", active_cores)
+    require_nonnegative("tile_cycles", tile_cycles)
+    require_positive("kc", kc)
+    require_nonnegative("ext_bytes", ext_bytes)
+    require_nonnegative("int_elements", int_elements)
+
+    compute_s = tile_cycles / machine.tile_ops_per_second(kc)
+    ext_s = ext_bytes * machine.external_traffic_factor / machine.dram_bytes_per_second
+    int_bytes = int_elements * machine.element_bytes * machine.internal_traffic_factor
+    int_s = int_bytes / machine.internal_bytes_per_second(active_cores)
+
+    seconds = max(compute_s, ext_s, int_s)
+    if seconds == compute_s:
+        bound: Bound = "compute"
+    elif seconds == ext_s:
+        bound = "external"
+    else:
+        bound = "internal"
+    return BlockTime(
+        seconds=seconds,
+        compute_seconds=compute_s,
+        external_seconds=ext_s,
+        internal_seconds=int_s,
+        bound=bound,
+    )

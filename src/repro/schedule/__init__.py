@@ -1,0 +1,37 @@
+"""Block partitioning and scheduling — Section 2 of the paper.
+
+The ``M x N x K`` computation space is cut into a grid of uniform CB blocks
+(:mod:`repro.schedule.space`), which are then ordered for execution. The
+paper's schedule (Algorithm 2, :mod:`repro.schedule.kfirst`) traverses the
+reduction dimension K first (reusing the partial-result surface in place),
+flipping traversal direction at the end of every run so that each turn
+shares an input surface with the previous block. Alternative orders and a
+non-flipping baseline live in :mod:`repro.schedule.variants`; the external
+IO each order implies is counted exactly by :mod:`repro.schedule.reuse`.
+"""
+
+from repro.schedule.space import BlockCoord, BlockGrid, ComputationSpace
+from repro.schedule.kfirst import kfirst_schedule
+from repro.schedule.variants import (
+    SCHEDULE_BUILDERS,
+    build_schedule,
+    mfirst_schedule,
+    nfirst_schedule,
+    naive_schedule,
+)
+from repro.schedule.reuse import ReuseReport, analyze_reuse, validate_schedule
+
+__all__ = [
+    "BlockCoord",
+    "BlockGrid",
+    "ComputationSpace",
+    "kfirst_schedule",
+    "SCHEDULE_BUILDERS",
+    "build_schedule",
+    "mfirst_schedule",
+    "nfirst_schedule",
+    "naive_schedule",
+    "ReuseReport",
+    "analyze_reuse",
+    "validate_schedule",
+]

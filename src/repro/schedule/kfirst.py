@@ -1,0 +1,87 @@
+"""Algorithm 2 — the K-first boustrophedon block schedule.
+
+The reduction dimension K is traversed innermost, so each C block's partial
+results complete in one uninterrupted run of in-place accumulation. At the
+end of every run the traversal *turns* rather than restarting at index 0:
+
+* **m-turn** (middle loop advances): the previous and next block sit at the
+  same ``(ki, ni)``, so the **B surface** stays resident — no refetch.
+* **n-turn** (outer loop advances): the previous and next block share
+  ``(mi, ki)``, so the **A surface** stays resident.
+
+Without the turns, no A or B surface would ever be reused across runs —
+``O(Mb*Nb + Nb)`` missed reuses (Section 2.2), which the ablation bench
+measures via :func:`repro.schedule.reuse.analyze_reuse`.
+
+The pseudocode in the paper assumes ``N >= M`` (outer loop over N so the
+larger B surfaces get the more frequent m-turn reuse); for ``M > N`` the
+outer two loops swap. :func:`kfirst_schedule` applies that rule
+automatically unless overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Literal
+
+from repro.schedule.space import BlockCoord, BlockGrid
+
+
+def _swept(count: int, forward: bool) -> range:
+    """Indices ``0..count-1`` in the requested direction."""
+    return range(count) if forward else range(count - 1, -1, -1)
+
+
+def kfirst_schedule(
+    grid: BlockGrid,
+    *,
+    outer: Literal["auto", "n", "m"] = "auto",
+) -> list[BlockCoord]:
+    """Order the grid's blocks per Algorithm 2.
+
+    Parameters
+    ----------
+    grid:
+        The block grid to traverse.
+    outer:
+        Which dimension the outer loop sweeps. ``"auto"`` (the paper's
+        rule) picks N when ``N >= M`` — reusing the larger B surface more
+        frequently — and M otherwise.
+
+    Returns
+    -------
+    list[BlockCoord]
+        Every block exactly once, consecutive blocks always sharing a
+        surface (partial C within a run, B at m-turns, A at n-turns — or
+        the A/B mirror image when the outer loop is M).
+    """
+    if outer == "auto":
+        outer = "n" if grid.space.n >= grid.space.m else "m"
+
+    order: list[BlockCoord] = []
+    if outer == "n":
+        for ni in _swept(grid.nb, True):
+            for mi in _swept(grid.mb, ni % 2 == 0):
+                for ki in _swept(grid.kb, (mi + ni) % 2 == 0):
+                    order.append(BlockCoord(mi, ni, ki))
+    elif outer == "m":
+        for mi in _swept(grid.mb, True):
+            for ni in _swept(grid.nb, mi % 2 == 0):
+                for ki in _swept(grid.kb, (mi + ni) % 2 == 0):
+                    order.append(BlockCoord(mi, ni, ki))
+    else:
+        raise ValueError(f"outer must be 'auto', 'n' or 'm', got {outer!r}")
+    return order
+
+
+def kfirst_runs(
+    grid: BlockGrid, *, outer: Literal["auto", "n", "m"] = "auto"
+) -> Iterator[list[BlockCoord]]:
+    """The schedule grouped into complete reduction runs.
+
+    Each yielded list is one K-run: the ``grid.kb`` blocks that accumulate
+    a single C block to completion. Executors use this to know when a
+    partial-result surface is finished and may be written back to DRAM.
+    """
+    order = kfirst_schedule(grid, outer=outer)
+    for start in range(0, len(order), grid.kb):
+        yield order[start : start + grid.kb]

@@ -1,0 +1,142 @@
+"""Exact external-IO accounting for a block schedule (Section 2.2).
+
+Model: local memory holds the three surfaces of the block being computed.
+Between consecutive blocks a surface stays resident iff the next block uses
+the *same* surface (same grid coordinates along its two dimensions).
+Partial C surfaces are special: abandoning one before its reduction
+completes costs a write-back now *and* a re-fetch when the schedule returns
+to it — "the IO for a partial result is twice that of a completed result"
+(Section 2.2).
+
+:func:`analyze_reuse` walks any schedule and tallies every external
+transfer in elements, attributing it to A-fetch, B-fetch, C-refetch,
+partial-C spill, or final-C write-back. The K-first schedule minimises the
+total; the ablation bench compares all variants with these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+from repro.schedule.space import BlockCoord, BlockGrid
+
+
+@dataclass(slots=True)
+class ReuseReport:
+    """External-IO tally of one schedule, in matrix elements.
+
+    Attributes
+    ----------
+    io_a, io_b:
+        Elements of A / B fetched from external memory.
+    io_c_spill:
+        Partial-C elements written back before their reduction completed.
+    io_c_refetch:
+        Partial-C elements fetched back for further accumulation.
+    io_c_final:
+        Completed-C elements written back (always ``M * N``).
+    reuse_a, reuse_b, reuse_c:
+        Count of blocks whose A / B / partial-C surface was already
+        resident from the previous block (the turn reuses).
+    """
+
+    io_a: int = 0
+    io_b: int = 0
+    io_c_spill: int = 0
+    io_c_refetch: int = 0
+    io_c_final: int = 0
+    reuse_a: int = 0
+    reuse_b: int = 0
+    reuse_c: int = 0
+    blocks: int = 0
+    _progress: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+
+    @property
+    def io_total(self) -> int:
+        """All external traffic: fetches plus write-backs."""
+        return (
+            self.io_a
+            + self.io_b
+            + self.io_c_spill
+            + self.io_c_refetch
+            + self.io_c_final
+        )
+
+    @property
+    def io_input(self) -> int:
+        """External traffic excluding the mandatory final C write-back."""
+        return self.io_total - self.io_c_final
+
+
+def validate_schedule(grid: BlockGrid, order: list[BlockCoord]) -> None:
+    """Raise :class:`ScheduleError` unless ``order`` covers every block once."""
+    seen = set()
+    for coord in order:
+        key = (coord.mi, coord.ni, coord.ki)
+        if key in seen:
+            raise ScheduleError(f"block {coord} scheduled more than once")
+        seen.add(key)
+    expected = grid.num_blocks
+    if len(seen) != expected:
+        raise ScheduleError(
+            f"schedule covers {len(seen)} of {expected} blocks in the grid"
+        )
+    for coord in order:
+        grid.extent(coord)  # raises IndexError if out of range
+
+
+def analyze_reuse(grid: BlockGrid, order: list[BlockCoord]) -> ReuseReport:
+    """Count the external IO implied by executing ``order`` on ``grid``.
+
+    The resident set is exactly the previous block's three surfaces, which
+    matches the LRU-sized local memory of Section 4.3 (one block in flight,
+    the next block's inputs streaming in).
+    """
+    validate_schedule(grid, order)
+    report = ReuseReport()
+    prev: BlockCoord | None = None
+
+    for coord in order:
+        ext = grid.extent(coord)
+        report.blocks += 1
+
+        # A surface: (mi, ki)
+        if prev is not None and (prev.mi, prev.ki) == (coord.mi, coord.ki):
+            report.reuse_a += 1
+        else:
+            report.io_a += ext.surface_a
+
+        # B surface: (ki, ni)
+        if prev is not None and (prev.ki, prev.ni) == (coord.ki, coord.ni):
+            report.reuse_b += 1
+        else:
+            report.io_b += ext.surface_b
+
+        # C surface: (mi, ni), stateful across the whole schedule.
+        c_key = (coord.mi, coord.ni)
+        if prev is not None and (prev.mi, prev.ni) == c_key:
+            report.reuse_c += 1
+        else:
+            if prev is not None:
+                _retire_previous(grid, prev, report)
+            if report._progress.get(c_key, 0) > 0:
+                # Returning to a C block spilled earlier: fetch it back.
+                report.io_c_refetch += ext.surface_c
+        report._progress[c_key] = report._progress.get(c_key, 0) + 1
+
+        prev = coord
+
+    if prev is not None:
+        _retire_previous(grid, prev, report)
+    return report
+
+
+def _retire_previous(grid: BlockGrid, prev: BlockCoord, report: ReuseReport) -> None:
+    """Write back the departing C surface as a spill or a final result."""
+    c_key = (prev.mi, prev.ni)
+    ext = grid.extent(prev)
+    if report._progress.get(c_key, 0) >= grid.kb:
+        report.io_c_final += ext.surface_c
+    else:
+        report.io_c_spill += ext.surface_c

@@ -1,0 +1,86 @@
+"""Alternative block orders: ablations against Algorithm 2.
+
+* :func:`naive_schedule` — the same loop nest as Algorithm 2 but *without*
+  direction flips (every loop restarts at index 0). This is the strawman of
+  Section 2.2: it forfeits every A/B turn reuse.
+* :func:`mfirst_schedule` / :func:`nfirst_schedule` — boustrophedon
+  traversals that put M or N innermost instead of K. These complete A or B
+  reuse runs first and therefore must spill partial C surfaces, showing why
+  the paper calls reduction-first optimal (a partial surface costs twice:
+  write-back now, fetch later).
+
+All builders return every block exactly once
+(:func:`repro.schedule.reuse.validate_schedule` enforces this in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.schedule.kfirst import kfirst_schedule, _swept
+from repro.schedule.space import BlockCoord, BlockGrid
+
+
+def naive_schedule(grid: BlockGrid) -> list[BlockCoord]:
+    """Algorithm 2's loop nest with no direction flips (always ascending).
+
+    Uses the same outer-dimension rule as :func:`kfirst_schedule`
+    (N outer when ``N >= M``), so comparing the two isolates exactly the
+    boustrophedon flips — the Section 2.2 ablation.
+    """
+    order: list[BlockCoord] = []
+    if grid.space.n >= grid.space.m:
+        for ni in range(grid.nb):
+            for mi in range(grid.mb):
+                for ki in range(grid.kb):
+                    order.append(BlockCoord(mi, ni, ki))
+    else:
+        for mi in range(grid.mb):
+            for ni in range(grid.nb):
+                for ki in range(grid.kb):
+                    order.append(BlockCoord(mi, ni, ki))
+    return order
+
+
+def mfirst_schedule(grid: BlockGrid) -> list[BlockCoord]:
+    """Boustrophedon traversal with M innermost (B-surface runs first).
+
+    Within a run, consecutive blocks share their B surface ``(ki, ni)``;
+    partial C surfaces are abandoned after every block and must round-trip
+    through external memory.
+    """
+    order: list[BlockCoord] = []
+    for ni in _swept(grid.nb, True):
+        for ki in _swept(grid.kb, ni % 2 == 0):
+            for mi in _swept(grid.mb, (ki + ni) % 2 == 0):
+                order.append(BlockCoord(mi, ni, ki))
+    return order
+
+
+def nfirst_schedule(grid: BlockGrid) -> list[BlockCoord]:
+    """Boustrophedon traversal with N innermost (A-surface runs first)."""
+    order: list[BlockCoord] = []
+    for mi in _swept(grid.mb, True):
+        for ki in _swept(grid.kb, mi % 2 == 0):
+            for ni in _swept(grid.nb, (ki + mi) % 2 == 0):
+                order.append(BlockCoord(mi, ni, ki))
+    return order
+
+
+SCHEDULE_BUILDERS: dict[str, Callable[[BlockGrid], list[BlockCoord]]] = {
+    "k-first": kfirst_schedule,
+    "naive": naive_schedule,
+    "m-first": mfirst_schedule,
+    "n-first": nfirst_schedule,
+}
+
+
+def build_schedule(name: str, grid: BlockGrid) -> list[BlockCoord]:
+    """Build a named schedule; see :data:`SCHEDULE_BUILDERS` for options."""
+    try:
+        builder = SCHEDULE_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule {name!r}; available: {sorted(SCHEDULE_BUILDERS)}"
+        ) from None
+    return builder(grid)

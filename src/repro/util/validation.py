@@ -1,0 +1,34 @@
+"""Small argument-validation helpers.
+
+Centralising these keeps error messages uniform ("<name> must be ...") across
+the whole library, which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Container
+from typing import Any
+
+
+def require_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_nonnegative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_at_least(name: str, value: float, minimum: float) -> None:
+    """Raise ``ValueError`` unless ``value >= minimum``."""
+    if not value >= minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
+
+
+def require_in(name: str, value: Any, allowed: Container[Any]) -> None:
+    """Raise ``ValueError`` unless ``value in allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")

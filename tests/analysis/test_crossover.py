@@ -1,0 +1,45 @@
+"""Tests for the crossover finder."""
+
+import pytest
+
+from repro.analysis import find_crossover_size, throughput_ratio
+from repro.machines import arm_cortex_a53, intel_i9_10900k
+
+
+class TestThroughputRatio:
+    def test_positive(self, intel):
+        assert throughput_ratio(intel, 1024) > 0
+
+    def test_small_sizes_favour_cake_on_intel(self, intel):
+        assert throughput_ratio(intel, 1000) > 1.3
+
+
+class TestFindCrossover:
+    def test_intel_crossover_exists(self):
+        """On the well-fed Intel, CAKE's advantage fades toward parity
+        somewhere between 1000 and 8000 (Figure 8's contour structure)."""
+        c = find_crossover_size(
+            intel_i9_10900k(), threshold=1.3, lo=512, hi=8192, tolerance=512
+        )
+        assert c.size is not None
+        assert 512 <= c.size <= 8192
+        assert c.ratio_at_size <= 1.3
+
+    def test_arm_never_crosses(self):
+        """On the bandwidth-starved A53, CAKE wins at every size in
+        range — the paper's 'all problem sizes' ARM claim."""
+        c = find_crossover_size(
+            arm_cortex_a53(), threshold=1.1, lo=512, hi=3072, tolerance=512
+        )
+        assert c.size is None
+        assert c.ratio_at_size > 1.1
+
+    def test_degenerate_threshold_returns_lo(self, intel):
+        c = find_crossover_size(
+            intel, threshold=1e9, lo=512, hi=2048, tolerance=512
+        )
+        assert c.size == 512
+
+    def test_bad_range_rejected(self, intel):
+        with pytest.raises(ValueError, match="lo < hi"):
+            find_crossover_size(intel, lo=1000, hi=1000)

@@ -1,0 +1,67 @@
+"""Tests for roofline chart data."""
+
+import pytest
+
+from repro.analysis import (
+    classify_point,
+    operating_point,
+    roofline_curve,
+)
+from repro.gemm import CakeGemm, GotoGemm
+
+
+class TestRooflineCurve:
+    def test_roof_and_diagonal(self, intel):
+        curve = roofline_curve(intel)
+        assert max(curve.attainable_gflops) == pytest.approx(
+            curve.peak_gflops
+        )
+        # Low-AI end sits on the bandwidth diagonal.
+        assert curve.attainable_gflops[0] == pytest.approx(
+            curve.intensities[0] * curve.dram_gb_per_s
+        )
+
+    def test_monotone_nondecreasing(self, machine):
+        curve = roofline_curve(machine)
+        g = curve.attainable_gflops
+        assert all(b >= a for a, b in zip(g, g[1:]))
+
+    def test_ridge_point(self, intel):
+        curve = roofline_curve(intel)
+        assert curve.ridge_intensity == pytest.approx(
+            curve.peak_gflops / curve.dram_gb_per_s
+        )
+
+    def test_cores_scale_roof_not_diagonal(self, intel):
+        full = roofline_curve(intel)
+        half = roofline_curve(intel, cores=5)
+        assert half.peak_gflops == pytest.approx(full.peak_gflops / 2)
+        assert half.dram_gb_per_s == full.dram_gb_per_s
+
+    def test_invalid_range_rejected(self, intel):
+        with pytest.raises(ValueError, match="ai_max"):
+            roofline_curve(intel, ai_min=8.0, ai_max=2.0)
+
+
+class TestOperatingPoints:
+    def test_cake_sits_right_of_goto(self, intel):
+        """CAKE's CB blocks raise arithmetic intensity — its operating
+        point sits to the right of GOTO's on the same chart."""
+        n = 2304
+        cake = operating_point(CakeGemm(intel).analyze(n, n, n))
+        goto = operating_point(GotoGemm(intel).analyze(n, n, n))
+        assert cake.arithmetic_intensity > 2 * goto.arithmetic_intensity
+
+    def test_arm_goto_is_memory_bound_cake_not(self, arm):
+        """On the bandwidth-starved A53 the GOTO point lands left of the
+        ridge; CAKE's lands right of it."""
+        n = 1536
+        curve = roofline_curve(arm)
+        cake = operating_point(CakeGemm(arm).analyze(n, n, n))
+        goto = operating_point(GotoGemm(arm).analyze(n, n, n))
+        assert classify_point(curve, goto) == "memory-bound"
+        assert classify_point(curve, cake) == "compute-bound"
+
+    def test_label_defaults_to_engine(self, intel):
+        pt = operating_point(CakeGemm(intel).analyze(256, 256, 256))
+        assert pt.label == "cake"

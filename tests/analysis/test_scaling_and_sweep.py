@@ -1,0 +1,71 @@
+"""Tests for the Figure 10-12 scaling series and Figure 8 sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import relative_throughput_grid, scaling_series
+
+
+class TestScalingSeries:
+    def test_structure(self, arm):
+        pts = scaling_series(arm, 960, extrapolate_to=8)
+        assert [p.cores for p in pts] == list(range(1, 9))
+        assert [p.extrapolated for p in pts] == [False] * 4 + [True] * 4
+
+    def test_core_step(self, amd):
+        pts = scaling_series(amd, 960, core_step=4)
+        assert [p.cores for p in pts] == [4, 8, 12, 16]
+
+    def test_each_point_has_both_engines(self, arm):
+        pts = scaling_series(arm, 960)
+        for p in pts:
+            assert p.cake.engine == "cake"
+            assert p.goto.engine == "goto"
+            assert p.cake_optimal_dram_gb_per_s > 0
+            assert p.internal_bw_gb_per_s > 0
+
+    def test_extrapolated_points_use_grown_machine(self, arm):
+        pts = {p.cores: p for p in scaling_series(arm, 960, extrapolate_to=8)}
+        # Internal BW linearised beyond the physical 4 cores.
+        per_core = arm.internal_bw.per_core_gb_per_s
+        assert pts[8].internal_bw_gb_per_s == pytest.approx(8 * per_core)
+        # Physical points keep the measured (knee'd) curve.
+        assert pts[4].internal_bw_gb_per_s < 4 * per_core
+
+
+class TestShapeSweep:
+    def test_grid_shape(self, intel):
+        grid = relative_throughput_grid(
+            intel, m_values=(500, 1000), k_values=(500, 1000, 1500)
+        )
+        assert grid.ratio.shape == (3, 2)
+        assert np.all(grid.ratio > 0)
+
+    def test_aspect_changes_n(self, intel):
+        """aspect=2 means N = M/2: thinner B panels, same grid shape."""
+        g1 = relative_throughput_grid(
+            intel, aspect=2.0, m_values=(1000,), k_values=(1000,)
+        )
+        assert g1.aspect == 2.0
+        assert g1.ratio.shape == (1, 1)
+
+    def test_ratio_at_picks_nearest(self, intel):
+        grid = relative_throughput_grid(
+            intel, m_values=(500, 1000), k_values=(500, 1000)
+        )
+        assert grid.ratio_at(520, 490) == grid.ratio[0, 0]
+        assert grid.ratio_at(990, 1010) == grid.ratio[1, 1]
+
+    def test_fraction_above(self, intel):
+        grid = relative_throughput_grid(
+            intel, m_values=(500, 1000), k_values=(500, 1000)
+        )
+        assert grid.fraction_above(0.0) == 1.0
+        assert grid.fraction_above(1e9) == 0.0
+
+    def test_small_matrices_favour_cake(self, intel):
+        """The Figure 8 headline at test scale."""
+        grid = relative_throughput_grid(
+            intel, m_values=(1000, 4000), k_values=(1000, 4000)
+        )
+        assert grid.ratio_at(1000, 1000) > 1.2

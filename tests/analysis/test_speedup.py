@@ -1,0 +1,38 @@
+"""Tests for the Figure 9 speedup series."""
+
+import pytest
+
+from repro.analysis import speedup_series
+
+
+class TestSpeedupSeries:
+    def test_normalised_to_one_core(self, intel):
+        s = speedup_series(intel, 600, engine="cake", max_cores=4)
+        assert s.cores == (1, 2, 3, 4)
+        assert s.speedups[0] == pytest.approx(1.0)
+
+    def test_speedups_at_most_linear_plus_noise(self, intel):
+        s = speedup_series(intel, 1200, engine="cake", max_cores=8)
+        for cores, sp in zip(s.cores, s.speedups):
+            assert sp <= cores * 1.05
+
+    def test_goto_engine(self, intel):
+        s = speedup_series(intel, 600, engine="goto", max_cores=4)
+        assert s.engine == "goto"
+        assert len(s.speedups) == 4
+
+    def test_unknown_engine_rejected(self, intel):
+        with pytest.raises(ValueError, match="engine"):
+            speedup_series(intel, 600, engine="blis")
+
+    def test_seconds_positive_and_monotone_enough(self, arm):
+        s = speedup_series(arm, 600, engine="cake")
+        assert all(t > 0 for t in s.seconds)
+        assert s.seconds[-1] <= s.seconds[0]
+
+    def test_figure9_contrast_small_matrix(self, intel):
+        """n=1000: MKL's fixed strips cap its speedup well below CAKE's
+        (the mechanism behind Figure 9a's smallest-size curves)."""
+        cake = speedup_series(intel, 1000, engine="cake")
+        goto = speedup_series(intel, 1000, engine="goto")
+        assert cake.speedups[-1] > goto.speedups[-1] * 1.3

@@ -1,0 +1,68 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.archsim import Simulator
+from repro.errors import SimulationError
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(5.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.at(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.at(1.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.after(2.0, lambda: log.append(("second", sim.now)))
+
+        sim.at(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.pending == 1
+
+    def test_past_event_rejected(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: sim.at(1.0, lambda: None))
+        with pytest.raises(SimulationError, match="clock"):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="negative"):
+            sim.after(-1.0, lambda: None)
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.after(1.0, forever)
+
+        sim.at(0.0, forever)
+        with pytest.raises(SimulationError, match="events"):
+            sim.run(max_events=100)

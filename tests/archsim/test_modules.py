@@ -1,0 +1,73 @@
+"""Failure-injection tests for the simulator modules.
+
+Section 6.2 argues the simulator's value is catching corner cases that
+are hard to analyse; these tests drive the modules into the invalid
+states the packet protocol must reject.
+"""
+
+import pytest
+
+from repro.archsim import CakeSystem, Packet
+from repro.archsim.modules import Core, ExternalMemory, LocalMemory
+from repro.errors import SimulationError
+from repro.schedule.space import BlockCoord
+
+
+@pytest.fixture
+def system():
+    return CakeSystem(2, 2, ext_bw_tiles_per_cycle=4.0)
+
+
+BLOCK = BlockCoord(0, 0, 0)
+
+
+class TestExternalMemory:
+    def test_rejects_non_c_packets(self, system):
+        ext = ExternalMemory("ext2", system, 4.0)
+        with pytest.raises(SimulationError, match="unexpected A"):
+            ext.receive(Packet(kind="A", route=(), block=BLOCK))
+
+    def test_rejects_nonpositive_bandwidth(self, system):
+        with pytest.raises(ValueError, match="bandwidth"):
+            ExternalMemory("ext2", system, 0.0)
+
+    def test_collects_results(self, system):
+        ext = ExternalMemory("ext2", system, 4.0)
+        ext.receive(Packet(kind="C", route=(), block=BLOCK, row=1, t=2, value=7.0))
+        assert ext.results[(1, 2)] == 7.0
+        assert ext.tiles_received == 1
+
+
+class TestLocalMemory:
+    def test_rejects_c_packets(self, system):
+        local = LocalMemory("local2", system)
+        with pytest.raises(SimulationError, match="cannot handle C"):
+            local.receive(Packet(kind="C", route=(), block=BLOCK))
+
+
+class TestCore:
+    def test_b_before_a_rejected(self, system):
+        core = Core("core_x", system, 0, 0)
+        # The pump runs synchronously on the first enqueue and raises.
+        with pytest.raises(SimulationError, match="before its A tile"):
+            core.receive(
+                Packet(kind="B", route=(), block=BLOCK, col=0, t=0, value=1.0)
+            )
+
+    def test_rejects_c_packets(self, system):
+        core = Core("core_x", system, 0, 0)
+        core.receive(Packet(kind="A", route=(), block=BLOCK, row=0, col=0, value=1.0))
+        core.receive(Packet(kind="C", route=(), block=BLOCK))
+        with pytest.raises(SimulationError, match="cannot handle"):
+            system.sim.run()
+
+
+class TestRouting:
+    def test_unknown_module_rejected(self, system):
+        pkt = Packet(kind="A", route=("nonexistent",), block=BLOCK)
+        with pytest.raises(SimulationError, match="unknown module"):
+            system.send(pkt, 1.0)
+
+    def test_extent_queries_need_active_matmul(self, system):
+        with pytest.raises(SimulationError, match="no matmul in flight"):
+            system.active_rows(BLOCK)

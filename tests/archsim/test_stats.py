@@ -1,0 +1,48 @@
+"""Tests for the simulator's utilisation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.archsim import CakeSystem
+
+
+def run(bw: float, size: int = 16, grid: int = 4):
+    rng = np.random.default_rng(9)
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+    return CakeSystem(grid, grid, ext_bw_tiles_per_cycle=bw).run_matmul(a, b)
+
+
+class TestUtilisation:
+    def test_total_multiplies_equals_macs(self):
+        rep = run(bw=8.0)
+        assert rep.total_multiplies == 16 * 16 * 16
+
+    def test_every_core_worked(self):
+        rep = run(bw=8.0)
+        assert len(rep.core_multiplies) == 16
+        assert all(m > 0 for m in rep.core_multiplies.values())
+
+    def test_balanced_grid_has_equal_shares(self):
+        rep = run(bw=8.0)
+        shares = set(rep.core_multiplies.values())
+        assert len(shares) == 1  # 16 divides evenly over a 4x4 grid
+
+    def test_compute_bound_means_high_grid_utilisation(self):
+        rep = run(bw=100.0)
+        assert rep.grid_utilisation > 0.9
+
+    def test_io_bound_means_low_grid_utilisation_high_link(self):
+        rep = run(bw=1.0)
+        assert rep.grid_utilisation < 0.5
+        assert rep.external_link_utilisation > 0.9
+
+    def test_ample_bandwidth_leaves_link_idle(self):
+        rep = run(bw=100.0)
+        assert rep.external_link_utilisation < 0.3
+
+    def test_utilisation_bounded(self):
+        for bw in (1.0, 4.0, 16.0):
+            rep = run(bw=bw)
+            assert 0.0 < rep.grid_utilisation <= 1.0
+            assert 0.0 < rep.external_link_utilisation <= 1.0 + 1e-9

@@ -1,0 +1,146 @@
+"""End-to-end tests of the packet-based architecture simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archsim import CakeSystem, Packet
+from repro.errors import SimulationError
+from repro.schedule.space import BlockCoord
+
+
+class TestPacket:
+    def test_route_advances(self):
+        p = Packet(kind="A", route=("local", "core_0_0"), block=BlockCoord(0, 0, 0))
+        assert p.next_hop() == "local"
+        assert p.advance().next_hop() == "core_0_0"
+
+    def test_exhausted_route_rejected(self):
+        p = Packet(kind="A", route=(), block=BlockCoord(0, 0, 0))
+        with pytest.raises(SimulationError, match="exhausted"):
+            p.next_hop()
+
+    def test_redirect(self):
+        p = Packet(kind="B", route=("local",), block=BlockCoord(0, 0, 0))
+        assert p.redirect("core_1_2").route == ("core_1_2",)
+
+
+class TestNumericalCorrectness:
+    """Section 6.2's purpose: validate the CB design and schedule."""
+
+    def test_exact_grid_fit(self, rng):
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 8))
+        rep = CakeSystem(4, 2, ext_bw_tiles_per_cycle=4.0).run_matmul(a, b)
+        np.testing.assert_allclose(rep.c, a @ b, rtol=1e-12)
+
+    def test_ragged_edges(self, rng):
+        a = rng.standard_normal((7, 5))
+        b = rng.standard_normal((5, 9))
+        rep = CakeSystem(3, 2, ext_bw_tiles_per_cycle=4.0).run_matmul(a, b)
+        np.testing.assert_allclose(rep.c, a @ b, rtol=1e-12)
+
+    def test_grid_larger_than_problem(self, rng):
+        a = rng.standard_normal((2, 2))
+        b = rng.standard_normal((2, 2))
+        rep = CakeSystem(8, 8, ext_bw_tiles_per_cycle=4.0).run_matmul(a, b)
+        np.testing.assert_allclose(rep.c, a @ b, rtol=1e-12)
+
+    def test_wide_blocks_alpha_two(self, rng):
+        a = rng.standard_normal((6, 6))
+        b = rng.standard_normal((6, 12))
+        sys_ = CakeSystem(3, 3, ext_bw_tiles_per_cycle=4.0, n_block=6)
+        rep = sys_.run_matmul(a, b)
+        np.testing.assert_allclose(rep.c, a @ b, rtol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(1, 10), st.integers(1, 10), st.integers(1, 10),
+        st.integers(1, 4), st.integers(1, 4),
+    )
+    def test_any_shape_any_grid(self, m, n, k, rows, cols):
+        rng = np.random.default_rng(m * 7919 + n * 13 + k)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        rep = CakeSystem(rows, cols, ext_bw_tiles_per_cycle=3.0).run_matmul(a, b)
+        np.testing.assert_allclose(rep.c, a @ b, rtol=1e-10, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        sys_ = CakeSystem(2, 2, ext_bw_tiles_per_cycle=1.0)
+        with pytest.raises(ValueError):
+            sys_.run_matmul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+class TestTiming:
+    """Measured cycles versus the Section 3 closed forms."""
+
+    def _square_run(self, bw, size=16, grid=4):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((size, size))
+        b = rng.standard_normal((size, size))
+        return CakeSystem(grid, grid, ext_bw_tiles_per_cycle=bw).run_matmul(a, b)
+
+    def test_compute_bound_total(self):
+        """With ample bandwidth, total time ~ multiplies per core."""
+        rep = self._square_run(bw=100.0)
+        per_core = 16 * 16 * 16 / 16
+        assert per_core <= rep.total_cycles < per_core * 1.1
+
+    def test_io_bound_total(self):
+        """With scarce bandwidth, total time ~ external tiles / BW."""
+        rep = self._square_run(bw=2.0)
+        io_time = rep.ext_tiles_out / 2.0
+        assert io_time * 0.95 <= rep.total_cycles < io_time * 1.15
+
+    def test_crossover_bandwidth(self):
+        """Block IO = A + B = rows*cols + n_block*cols tiles; compute =
+        n_block cycles; the balance point is BW = (rows+n_block)*cols /
+        n_block = 8 tiles/cycle for a 4x4 grid with alpha=1 — Eq. 2."""
+        slow = self._square_run(bw=4.0)
+        balanced = self._square_run(bw=8.0)
+        fast = self._square_run(bw=100.0)
+        assert slow.total_cycles > balanced.total_cycles
+        # Past the Eq. 2 floor, extra bandwidth barely helps.
+        assert balanced.total_cycles < fast.total_cycles * 1.35
+
+    def test_monotone_in_bandwidth(self):
+        times = [self._square_run(bw).total_cycles for bw in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+    def test_steady_block_cycles_compute_bound(self):
+        rep = self._square_run(bw=100.0)
+        # n_block = 4 cycles per block in steady state, small tolerance.
+        assert rep.steady_block_cycles == pytest.approx(4.0, rel=0.15)
+
+
+class TestSurfaceReuseIsPhysical:
+    def test_external_tiles_match_reuse_analyzer(self, rng):
+        """The simulator's external traffic equals the schedule
+        analyzer's input-surface IO prediction, tile for tile."""
+        from repro.core import CBBlock
+        from repro.schedule import (
+            BlockGrid,
+            ComputationSpace,
+            analyze_reuse,
+            kfirst_schedule,
+        )
+
+        m, n, k = 12, 12, 12
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        sys_ = CakeSystem(4, 4, ext_bw_tiles_per_cycle=4.0)
+        rep = sys_.run_matmul(a, b)
+
+        grid = BlockGrid(ComputationSpace(m, n, k), CBBlock(4, 4, 4))
+        io = analyze_reuse(grid, kfirst_schedule(grid))
+        assert rep.ext_tiles_out == io.io_a + io.io_b
+        assert rep.ext_tiles_in == m * n  # C written back exactly once
+
+    def test_reuse_reduces_traffic_vs_no_reuse(self, rng):
+        """Streamed tiles must be fewer than the no-reuse total."""
+        a = rng.standard_normal((12, 12))
+        b = rng.standard_normal((12, 12))
+        rep = CakeSystem(4, 4, ext_bw_tiles_per_cycle=4.0).run_matmul(a, b)
+        grid_blocks = 3 * 3 * 3
+        no_reuse = grid_blocks * (16 + 16)  # every block fetches A and B
+        assert rep.ext_tiles_out < no_reuse

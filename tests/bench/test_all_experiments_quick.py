@@ -1,0 +1,24 @@
+"""Integration: every registered experiment runs at quick scale.
+
+This is the harness's smoke net — any structural regression in the
+figure generators (renamed keys, broken plans, schedule errors) surfaces
+here before a full-scale benchmark run.
+"""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, run_experiment
+from repro.bench.ablations import ABLATIONS
+
+ALL = sorted({**EXPERIMENTS, **ABLATIONS})
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_experiment_runs_quick(name):
+    report = run_experiment(name, "quick")
+    assert report.experiment_id == name
+    assert report.lines, name
+    assert report.data, name
+    # Every report renders and serialises.
+    assert report.text().startswith(f"== {name}:")
+    assert isinstance(report.csv(), str)

@@ -1,0 +1,36 @@
+"""Tests for the cake-plan CLI."""
+
+import pytest
+
+from repro.bench.plan_cli import main
+
+
+class TestPlanCli:
+    def test_intel_plan(self, capsys):
+        assert main(
+            ["--machine", "intel-i9-10900k", "-m", "2304", "-n", "2304", "-k", "2304"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CAKE" in out and "GOTO" in out
+        assert "alpha=1 mc=kc=192" in out
+
+    def test_cores_override(self, capsys):
+        assert main(
+            ["--machine", "arm-cortex-a53", "-m", "600", "-n", "600", "-k", "600",
+             "--cores", "2"]
+        ) == 0
+        assert "2 cores" in capsys.readouterr().out
+
+    def test_dram_override_changes_alpha(self, capsys):
+        """Throttling DRAM in what-if mode makes the plan stretch alpha
+        (the Intel LLC has room to trade)."""
+        main(
+            ["--machine", "intel-i9-10900k", "-m", "2304", "-n", "2304",
+             "-k", "2304", "--dram-gb-s", "1.0"]
+        )
+        out = capsys.readouterr().out
+        assert "alpha=1 " not in out  # no longer the plentiful default
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--machine", "cray-1", "-m", "8", "-n", "8", "-k", "8"])

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import (
+    amd_ryzen_9_5950x,
+    arm_cortex_a53,
+    intel_i9_10900k,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20210)
+
+
+@pytest.fixture
+def intel():
+    return intel_i9_10900k()
+
+
+@pytest.fixture
+def amd():
+    return amd_ryzen_9_5950x()
+
+
+@pytest.fixture
+def arm():
+    return arm_cortex_a53()
+
+
+@pytest.fixture(params=["intel", "amd", "arm"])
+def machine(request):
+    return {
+        "intel": intel_i9_10900k,
+        "amd": amd_ryzen_9_5950x,
+        "arm": arm_cortex_a53,
+    }[request.param]()
+
+
+def assert_product_close(c, a, b):
+    """Tolerance appropriate for re-associated blocked summation."""
+    expected = a @ b
+    scale = max(np.abs(expected).max(), 1.0)
+    np.testing.assert_allclose(c, expected, rtol=1e-8, atol=1e-9 * scale)

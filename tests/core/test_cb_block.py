@@ -1,0 +1,65 @@
+"""Unit and property tests for the CBBlock value type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import CBBlock
+
+dims = st.integers(1, 10_000)
+
+
+class TestCBBlockBasics:
+    def test_volume(self):
+        assert CBBlock(2, 3, 4).volume == 24
+
+    def test_surfaces(self):
+        b = CBBlock(m=2, n=3, k=4)
+        assert b.surface_a == 8  # m x k
+        assert b.surface_b == 12  # k x n
+        assert b.surface_c == 6  # m x n
+
+    def test_io_total_is_sum_of_surfaces(self):
+        b = CBBlock(5, 7, 11)
+        assert b.io_total == b.surface_a + b.surface_b + b.surface_c
+
+    def test_input_io_excludes_c(self):
+        b = CBBlock(5, 7, 11)
+        assert b.input_io == b.surface_a + b.surface_b
+
+    def test_flops_two_per_mac(self):
+        assert CBBlock(2, 3, 4).flops() == 48
+
+    def test_rejects_nonpositive_dims(self):
+        for bad in [(0, 1, 1), (1, 0, 1), (1, 1, 0), (-1, 1, 1)]:
+            with pytest.raises(ValueError):
+                CBBlock(*bad)
+
+    def test_frozen(self):
+        b = CBBlock(1, 1, 1)
+        with pytest.raises(AttributeError):
+            b.m = 2
+
+    def test_scaled(self):
+        b = CBBlock(2, 3, 4).scaled(m=2, n=3)
+        assert (b.m, b.n, b.k) == (4, 9, 4)
+
+
+class TestCBBlockProperties:
+    @given(dims, dims, dims)
+    def test_volume_consistency(self, m, n, k):
+        b = CBBlock(m, n, k)
+        assert b.volume == m * n * k
+        assert b.flops() == 2 * b.volume
+
+    @given(dims, dims, dims, st.integers(1, 8))
+    def test_figure4_constant_bandwidth_scaling(self, m, n, k, p):
+        """Scaling M and N by p scales volume by p^2 but input IO by p.
+
+        This is the Figure 4 property: arithmetic intensity (V / input IO)
+        grows by p, so bandwidth (input IO / time, with time ~ n) stays
+        constant.
+        """
+        base = CBBlock(m, n, k)
+        grown = base.scaled(m=p, n=p)
+        assert grown.volume == p * p * base.volume
+        assert grown.input_io == p * base.input_io

@@ -1,0 +1,100 @@
+"""Tests for the Section 4 CPU adaptation (Equations 4-6 and GOTO)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    CakeCpuParams,
+    GotoCpuParams,
+    cake_block_compute_cycles,
+    cake_external_bw,
+    cake_internal_bw,
+    cake_local_memory,
+    goto_external_bw,
+    goto_panel_compute_cycles,
+)
+
+
+def cake(p=10, mc=192, kc=192, alpha=1.0, mr=6, nr=16) -> CakeCpuParams:
+    return CakeCpuParams(p=p, mc=mc, kc=kc, alpha=alpha, mr=mr, nr=nr)
+
+
+def goto(p=10, mc=252, kc=252, nc=20800, mr=6, nr=16) -> GotoCpuParams:
+    return GotoCpuParams(p=p, mc=mc, kc=kc, nc=nc, mr=mr, nr=nr)
+
+
+class TestCakeEquations:
+    def test_compute_cycles_closed_form(self):
+        # alpha * p * mc^2 / (mr * nr)
+        assert cake_block_compute_cycles(cake()) == pytest.approx(
+            10 * 192 * 192 / 96
+        )
+
+    @given(st.integers(1, 64), st.floats(1.0, 8.0))
+    def test_eq4_external_bw_constant_in_p(self, p, alpha):
+        """Equation 4: BW_ext = ((alpha+1)/alpha) * mr * nr, no p."""
+        bw = cake_external_bw(cake(p=p, alpha=alpha))
+        assert bw == pytest.approx((alpha + 1) / alpha * 96)
+
+    @given(st.integers(1, 64))
+    def test_eq5_local_memory_quadratic_in_p(self, p):
+        m = cake_local_memory(cake(p=p))
+        expected = p * 192 * 192 * 2.0 + 1.0 * p * p * 192 * 192
+        assert m == pytest.approx(expected)
+
+    @given(st.integers(1, 64), st.floats(1.0, 8.0))
+    def test_eq6_internal_bw_linear_in_p(self, p, alpha):
+        bw = cake_internal_bw(cake(p=p, alpha=alpha))
+        assert bw == pytest.approx((2 * p + 1 / alpha + 1) * 96)
+
+    def test_eq4_eq6_identity(self):
+        """BW_int - BW_ext = 2p*mr*nr: the partial-C traffic CAKE moved
+        from the external to the internal interface."""
+        params = cake(p=7, alpha=2.0)
+        diff = cake_internal_bw(params) - cake_external_bw(params)
+        assert diff == pytest.approx(2 * 7 * 96)
+
+
+class TestGotoEquations:
+    def test_compute_cycles_closed_form(self):
+        assert goto_panel_compute_cycles(goto()) == pytest.approx(
+            252 * 20800 / 96
+        )
+
+    def test_external_bw_closed_form(self):
+        """Section 4.1: BW = (1 + p + (kc/nc)*p) * mr * nr with mc=kc."""
+        g = goto()
+        expected = (1 + 10 + (252 / 20800) * 10) * 96
+        assert goto_external_bw(g) == pytest.approx(expected)
+
+    @given(st.integers(1, 64))
+    def test_external_bw_grows_linearly_with_p(self, p):
+        """The paper's core claim about GOTO: +1 core => ~+mr*nr BW."""
+        b1 = goto_external_bw(goto(p=p))
+        b2 = goto_external_bw(goto(p=p + 1))
+        assert b2 - b1 == pytest.approx((1 + 252 / 20800) * 96)
+
+    @given(st.integers(1, 32), st.floats(1.0, 4.0))
+    def test_goto_needs_more_external_bw_than_cake(self, p, alpha):
+        """For any p >= 2, GOTO's requirement exceeds CAKE's (Section 4.4)."""
+        if p < 2:
+            return
+        assert goto_external_bw(goto(p=p)) > cake_external_bw(
+            cake(p=p, alpha=alpha)
+        )
+
+
+class TestParamValidation:
+    def test_cake_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            cake(alpha=0.5)
+
+    def test_goto_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            goto(nc=0)
+
+    def test_cake_block_extents(self):
+        params = cake(p=10, mc=192, alpha=1.0)
+        assert params.m_block == 1920
+        assert params.k_block == 192
+        assert params.n_block == 1920

@@ -1,0 +1,81 @@
+"""Tests for the M/K block-direction extension (Section 3's sketch)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    DIRECTIONS,
+    analyze_direction,
+    best_direction,
+    block_compute_cycles,
+    external_bandwidth_min,
+)
+
+ps = st.integers(1, 32)
+ks = st.integers(1, 16)
+alphas = st.floats(1.0, 8.0)
+
+
+class TestComputeCycles:
+    def test_paper_values(self):
+        """Section 3: T = n, k or m unit times for N, M, K directions."""
+        p, k, alpha = 4, 2, 2.0
+        assert block_compute_cycles(p, k, alpha, "n") == alpha * p * k
+        assert block_compute_cycles(p, k, alpha, "m") == k
+        assert block_compute_cycles(p, k, alpha, "k") == p * k
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            block_compute_cycles(4, 2, 1.0, "q")  # type: ignore[arg-type]
+
+
+class TestDirectionAnalysis:
+    @given(ps, ks, alphas)
+    def test_n_direction_matches_eq2(self, p, k, alpha):
+        """The N-direction reproduces Equation 2 exactly."""
+        a = analyze_direction(p, k, alpha, "n")
+        assert a.external_bw_min == pytest.approx(
+            external_bandwidth_min(k, alpha)
+        )
+
+    @given(ps, ks, alphas)
+    def test_streamed_io_is_inputs(self, p, k, alpha):
+        """Streamed traffic is the analytic input surfaces A + B."""
+        for d in DIRECTIONS:
+            a = analyze_direction(p, k, alpha, d)
+            expected = p * k * k + alpha * p * k * k
+            assert a.streamed_io == pytest.approx(expected)
+
+    def test_resident_surfaces(self):
+        assert analyze_direction(4, 2, 1.0, "n").resident_surface == "A"
+        assert analyze_direction(4, 2, 1.0, "m").resident_surface == "B"
+        assert analyze_direction(4, 2, 1.0, "k").resident_surface == "C"
+
+    def test_k_direction_keeps_c_stationary(self):
+        a = analyze_direction(4, 2, 1.0, "k")
+        assert a.stationary_io == a.block.surface_c
+
+
+class TestBestDirection:
+    @given(ps, ks, st.floats(1.0001, 8.0))
+    def test_n_direction_wins_for_alpha_above_one(self, p, k, alpha):
+        """Streaming along the longest dimension needs the least
+        bandwidth — the paper's choice of N is optimal under its own
+        shaping."""
+        assert best_direction(p, k, alpha).direction == "n"
+
+    @given(ps, ks)
+    def test_k_ties_n_at_alpha_one(self, p, k):
+        """With alpha = 1 (n = m), the K-direction's longer compute time
+        (m = p*k vs n = p*k) ties the N-direction's bandwidth floor."""
+        n_dir = analyze_direction(p, k, 1.0, "n")
+        k_dir = analyze_direction(p, k, 1.0, "k")
+        assert n_dir.external_bw_min == pytest.approx(k_dir.external_bw_min)
+
+    @given(ps, ks, alphas)
+    def test_m_direction_always_worst(self, p, k, alpha):
+        """T = k is the shortest compute time for the same input IO, so
+        the M-direction demands the most bandwidth (p >= 1)."""
+        m_bw = analyze_direction(p, k, alpha, "m").external_bw_min
+        for d in ("n", "k"):
+            assert m_bw >= analyze_direction(p, k, alpha, d).external_bw_min

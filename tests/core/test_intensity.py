@@ -1,0 +1,59 @@
+"""Tests for arithmetic-intensity algebra (Figure 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    CBBlock,
+    arithmetic_intensity,
+    block_arithmetic_intensity,
+    square_mm_intensity,
+)
+
+
+class TestArithmeticIntensity:
+    def test_definition(self):
+        assert arithmetic_intensity(100, 25) == 4.0
+
+    def test_rejects_zero_io(self):
+        with pytest.raises(ValueError):
+            arithmetic_intensity(100, 0)
+
+
+class TestBlockIntensity:
+    def test_resident_c_counts_inputs_only(self):
+        b = CBBlock(4, 4, 4)
+        assert block_arithmetic_intensity(b, resident_c=True) == pytest.approx(
+            64 / 32
+        )
+
+    def test_streaming_c_counts_all_surfaces(self):
+        b = CBBlock(4, 4, 4)
+        assert block_arithmetic_intensity(b, resident_c=False) == pytest.approx(
+            64 / 48
+        )
+
+    @given(st.integers(1, 512), st.integers(1, 512), st.integers(1, 512))
+    def test_resident_c_always_higher(self, m, n, k):
+        b = CBBlock(m, n, k)
+        assert block_arithmetic_intensity(
+            b, resident_c=True
+        ) > block_arithmetic_intensity(b, resident_c=False)
+
+    @given(st.integers(1, 100), st.integers(1, 16), st.integers(1, 8))
+    def test_figure4_ai_grows_with_p_at_constant_bw(self, k, p, grow):
+        """Growing a CB block p-fold in M and N multiplies AI by p."""
+        base = CBBlock(p * k, p * k, k)
+        grown = base.scaled(m=grow, n=grow)
+        ai_base = block_arithmetic_intensity(base)
+        ai_grown = block_arithmetic_intensity(grown)
+        assert ai_grown == pytest.approx(grow * ai_base)
+
+
+class TestSquareIntensity:
+    def test_linear_in_n(self):
+        """Section 5.2.3: AI of square MM is O(N)."""
+        assert square_mm_intensity(3000) == pytest.approx(1000.0)
+        assert square_mm_intensity(600) / square_mm_intensity(300) == pytest.approx(
+            2.0
+        )

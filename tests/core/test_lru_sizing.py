@@ -1,0 +1,111 @@
+"""Tests for Section 4.3 LRU-aware block sizing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import CakeCpuParams, cake_block_fits, solve_cake_mc, solve_goto_tiles
+from repro.errors import ConfigurationError
+from repro.util.units import BYTES_PER_KIB, BYTES_PER_MIB
+
+INTEL_LLC = 20 * BYTES_PER_MIB // 4  # elements
+INTEL_L2 = 256 * BYTES_PER_KIB // 4
+
+
+class TestSolveCakeMc:
+    def test_reproduces_paper_intel_example(self):
+        """Section 4.4: Intel i9-10900K, p=10, alpha=1 => mc = kc = 192."""
+        mc = solve_cake_mc(
+            p=10, alpha=1.0, llc_elements=INTEL_LLC, l2_elements=INTEL_L2,
+            mr=6, nr=16,
+        )
+        assert mc == 192
+
+    def test_paper_cache_shares(self):
+        """Section 4.4: with mc=192 the C and B surfaces take ~91%/9%."""
+        mc, p = 192, 10
+        c = p * p * mc * mc
+        b = p * mc * mc
+        assert c / (c + b) == pytest.approx(0.909, abs=0.001)
+        # and B + C nearly fill the LLC
+        assert 0.75 < (b + c) / INTEL_LLC < 1.0
+
+    def test_result_is_multiple_of_mr(self):
+        mc = solve_cake_mc(
+            p=10, alpha=1.0, llc_elements=INTEL_LLC, l2_elements=INTEL_L2,
+            mr=6, nr=16,
+        )
+        assert mc % 6 == 0
+
+    def test_raising_alpha_shrinks_mc(self):
+        mc1 = solve_cake_mc(
+            p=10, alpha=1.0, llc_elements=INTEL_LLC, l2_elements=INTEL_L2,
+            mr=6, nr=16,
+        )
+        mc4 = solve_cake_mc(
+            p=10, alpha=4.0, llc_elements=INTEL_LLC, l2_elements=INTEL_L2,
+            mr=6, nr=16,
+        )
+        assert mc4 < mc1
+
+    def test_tiny_cache_infeasible(self):
+        with pytest.raises(ConfigurationError):
+            solve_cake_mc(
+                p=64, alpha=1.0, llc_elements=256, l2_elements=64,
+                mr=8, nr=8,
+            )
+
+    @given(
+        st.integers(1, 32),
+        st.floats(1.0, 8.0),
+        st.integers(2**14, 2**24),
+        st.integers(2**10, 2**18),
+    )
+    def test_solution_satisfies_lru_rule(self, p, alpha, llc, l2):
+        """Whatever mc comes back must pass the C + 2(A+B) <= S check."""
+        try:
+            mc = solve_cake_mc(
+                p=p, alpha=alpha, llc_elements=llc, l2_elements=l2, mr=4, nr=4
+            )
+        except ConfigurationError:
+            return
+        params = CakeCpuParams(p=p, mc=mc, kc=mc, alpha=alpha, mr=4, nr=4)
+        assert cake_block_fits(params, llc)
+        assert mc * mc <= l2
+
+
+class TestCakeBlockFits:
+    def test_known_fit(self):
+        params = CakeCpuParams(p=10, mc=192, kc=192, alpha=1.0, mr=6, nr=16)
+        assert cake_block_fits(params, INTEL_LLC)
+
+    def test_known_overflow(self):
+        params = CakeCpuParams(p=10, mc=240, kc=240, alpha=1.0, mr=6, nr=16)
+        assert not cake_block_fits(params, INTEL_LLC)
+
+    def test_slack_scales_budget(self):
+        params = CakeCpuParams(p=10, mc=192, kc=192, alpha=1.0, mr=6, nr=16)
+        assert not cake_block_fits(params, INTEL_LLC, slack=0.5)
+
+
+class TestSolveGotoTiles:
+    def test_intel_tiles(self):
+        g = solve_goto_tiles(
+            p=10, llc_elements=INTEL_LLC, l2_elements=INTEL_L2, mr=6, nr=16
+        )
+        assert g.mc == g.kc  # square A sub-block
+        assert g.mc % 6 == 0
+        assert g.mc * g.kc <= INTEL_L2
+        assert g.kc * g.nc <= INTEL_LLC
+        assert g.nc % 16 == 0
+
+    def test_b_panel_fills_llc(self):
+        """GOTO dedicates the LLC to B (Section 4.4: 'GOTO uses all of
+        the L3 cache for B')."""
+        g = solve_goto_tiles(
+            p=10, llc_elements=INTEL_LLC, l2_elements=INTEL_L2, mr=6, nr=16
+        )
+        assert g.kc * g.nc > 0.95 * INTEL_LLC
+
+    def test_tiny_l2_infeasible(self):
+        with pytest.raises(ConfigurationError):
+            solve_goto_tiles(p=1, llc_elements=1024, l2_elements=16, mr=8, nr=8)

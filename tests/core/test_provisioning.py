@@ -1,0 +1,64 @@
+"""Tests for the provisioning design tool."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    external_bandwidth_min,
+    provision,
+    scaling_table,
+)
+from repro.errors import ConfigurationError
+
+
+class TestProvision:
+    def test_basic_fields(self):
+        r = provision(p=2, k=4, external_bw_tiles_per_cycle=6.0)
+        assert r.bandwidth_ratio == pytest.approx(1.5)
+        assert r.alpha == pytest.approx(2.0)  # 1/(R-1)
+        assert r.block.m == 8 and r.block.k == 4
+
+    def test_bandwidth_floor_enforced(self):
+        with pytest.raises(ConfigurationError, match="floor"):
+            provision(p=2, k=4, external_bw_tiles_per_cycle=4.0)
+
+    @given(
+        st.integers(1, 32), st.integers(1, 8), st.floats(1.05, 8.0),
+    )
+    def test_design_point_is_feasible(self, p, k, r):
+        """The provisioned alpha satisfies Eq. 2 at the given bandwidth."""
+        result = provision(p=p, k=k, external_bw_tiles_per_cycle=r * k)
+        assert external_bandwidth_min(k, result.alpha) <= (
+            result.external_bw_tiles_per_cycle + 1e-9
+        )
+
+    @given(st.integers(1, 32), st.integers(1, 8))
+    def test_plentiful_bandwidth_gives_alpha_one(self, p, k):
+        r = provision(p=p, k=k, external_bw_tiles_per_cycle=10.0 * k)
+        assert r.alpha == 1.0
+
+
+class TestScalingTable:
+    def test_constant_external_bandwidth(self):
+        rows = scaling_table(
+            k=4, external_bw_tiles_per_cycle=6.0, p_values=(1, 2, 4, 8)
+        )
+        assert len({r.external_bw_tiles_per_cycle for r in rows}) == 1
+        assert len({r.alpha for r in rows}) == 1
+
+    def test_memory_grows_superlinearly(self):
+        rows = scaling_table(
+            k=4, external_bw_tiles_per_cycle=6.0, p_values=(1, 2, 4, 8)
+        )
+        mems = [r.local_memory_tiles for r in rows]
+        for a, b in zip(mems, mems[1:]):
+            assert b > 2 * a  # p doubles each step; memory more than doubles
+
+    def test_internal_bw_grows_linearly(self):
+        rows = scaling_table(
+            k=4, external_bw_tiles_per_cycle=6.0, p_values=(1, 2, 4, 8)
+        )
+        bws = [r.internal_bw_tiles_per_cycle for r in rows]
+        # Eq. 3: R*k + 2*p*k — differences double as p doubles.
+        assert bws[1] - bws[0] == pytest.approx(2 * 1 * 4)
+        assert bws[2] - bws[1] == pytest.approx(2 * 2 * 4)

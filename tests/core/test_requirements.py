@@ -1,0 +1,71 @@
+"""Tests for Equations 1-3 (Section 3 resource requirements)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    external_bandwidth_min,
+    internal_bandwidth_required,
+    internal_memory_required,
+)
+
+ps = st.integers(1, 128)
+ks = st.integers(1, 64)
+alphas = st.floats(1.0, 16.0)
+
+
+class TestEquation1InternalMemory:
+    def test_closed_form(self):
+        # p=2, k=3, alpha=1: p*k^2 + alpha*p*k^2 + alpha*p^2*k^2
+        assert internal_memory_required(2, 3, 1.0) == 18 + 18 + 36
+
+    @given(ps, ks, alphas)
+    def test_matches_surface_sum(self, p, k, alpha):
+        expected = p * k * k + alpha * p * k * k + alpha * p * p * k * k
+        assert internal_memory_required(p, k, alpha) == pytest.approx(expected)
+
+    @given(ks, alphas)
+    def test_quadratic_growth_in_p(self, k, alpha):
+        """Doubling processing power ~quadruples the partial-C term.
+
+        Section 3.1: to increase processing power p-fold, internal memory
+        must grow by p^2. Check the asymptotic ratio for large p.
+        """
+        m1 = internal_memory_required(64, k, alpha)
+        m2 = internal_memory_required(128, k, alpha)
+        ratio = m2 / m1
+        assert 3.5 < ratio <= 4.0 + 1e-9
+
+
+class TestEquation2ExternalBandwidth:
+    def test_closed_form(self):
+        assert external_bandwidth_min(4, 1.0) == pytest.approx(8.0)
+
+    @given(ps, ks, alphas)
+    def test_independent_of_p(self, p, k, alpha):
+        """The constant-bandwidth property: BW_min does not mention p."""
+        assert external_bandwidth_min(k, alpha) == pytest.approx(
+            (alpha + 1.0) / alpha * k
+        )
+
+    @given(ks)
+    def test_alpha_reduces_requirement(self, k):
+        assert external_bandwidth_min(k, 4.0) < external_bandwidth_min(k, 1.0)
+
+    @given(ks, alphas)
+    def test_lower_bound_is_k(self, k, alpha):
+        # As alpha -> inf the requirement approaches k, never below.
+        assert external_bandwidth_min(k, alpha) > k
+
+
+class TestEquation3InternalBandwidth:
+    def test_closed_form(self):
+        # R*k + 2*p*k
+        assert internal_bandwidth_required(p=4, k=2, r=2.0) == pytest.approx(20.0)
+
+    @given(ps, ks, st.floats(1.0, 8.0))
+    def test_linear_growth_in_p(self, p, k, r):
+        """Section 3.3: internal bandwidth must scale with core count."""
+        b1 = internal_bandwidth_required(p, k, r)
+        b2 = internal_bandwidth_required(2 * p, k, r)
+        assert b2 - b1 == pytest.approx(2 * p * k)

@@ -1,0 +1,72 @@
+"""Tests for Section 3 shaping rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    alpha_from_bandwidth_ratio,
+    cb_block_shape,
+    min_bandwidth_ratio,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCbBlockShape:
+    def test_basic_shape(self):
+        b = cb_block_shape(p=4, k=2, alpha=1.0)
+        assert (b.m, b.n, b.k) == (8, 8, 2)
+
+    def test_alpha_widens_n(self):
+        b = cb_block_shape(p=4, k=2, alpha=2.0)
+        assert b.n == 16
+
+    def test_fractional_alpha_rounds_n_up(self):
+        b = cb_block_shape(p=3, k=1, alpha=1.5)
+        assert b.n == 5  # ceil(4.5)
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            cb_block_shape(p=4, k=2, alpha=0.5)
+
+    @given(st.integers(1, 64), st.integers(1, 16), st.floats(1.0, 8.0))
+    def test_m_is_one_tile_per_core(self, p, k, alpha):
+        b = cb_block_shape(p, k, alpha)
+        # The A surface holds p*k tiles of k elements each: one per core.
+        assert b.m == p * k
+        assert b.surface_a == p * k * k
+
+
+class TestAlphaFromBandwidthRatio:
+    def test_paper_rule(self):
+        # alpha >= 1/(R-1); R=1.5 -> alpha = 2
+        assert alpha_from_bandwidth_ratio(1.5) == pytest.approx(2.0)
+
+    def test_clamped_at_one_for_plentiful_bandwidth(self):
+        # R=3 -> 1/(R-1)=0.5, clamped to the paper's alpha >= 1
+        assert alpha_from_bandwidth_ratio(3.0) == 1.0
+
+    def test_r_at_most_one_infeasible(self):
+        with pytest.raises(ConfigurationError):
+            alpha_from_bandwidth_ratio(1.0)
+        with pytest.raises(ConfigurationError):
+            alpha_from_bandwidth_ratio(0.5)
+
+    @given(st.floats(1.0001, 100.0))
+    def test_inverse_relationship(self, r):
+        alpha = alpha_from_bandwidth_ratio(r)
+        # The chosen alpha must satisfy the original constraint ...
+        assert alpha >= 1.0 / (r - 1.0) - 1e-12
+        # ... and min_bandwidth_ratio must confirm feasibility.
+        assert min_bandwidth_ratio(alpha) <= max(r, 2.0) + 1e-9
+
+
+class TestMinBandwidthRatio:
+    def test_alpha_one_needs_double(self):
+        assert min_bandwidth_ratio(1.0) == pytest.approx(2.0)
+
+    def test_large_alpha_approaches_one(self):
+        assert min_bandwidth_ratio(100.0) == pytest.approx(1.01)
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            min_bandwidth_ratio(0.9)

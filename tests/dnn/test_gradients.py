@@ -1,0 +1,167 @@
+"""Tests for padding/stride/bias and the backward-pass GEMM lowerings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnn import (
+    col2im,
+    conv2d_gemm_shape,
+    conv2d_input_gradient,
+    conv2d_via_gemm,
+    conv2d_weight_gradient,
+    im2col,
+)
+from repro.gemm import CakeGemm
+
+
+def padded_direct_conv(x, w, stride=1, padding=0):
+    """Reference convolution with padding and stride (einsum-based)."""
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    c_out, c_in, r, s = w.shape
+    windows = np.lib.stride_tricks.sliding_window_view(x, (c_in, r, s))[0]
+    windows = windows[::stride, ::stride]
+    return np.einsum("hwcrs,ocrs->ohw", windows, w)
+
+
+class TestPaddingAndStride:
+    def test_same_padding(self, intel, rng):
+        """3x3 kernel, padding 1: output spatial size equals input."""
+        x = rng.standard_normal((3, 10, 10))
+        w = rng.standard_normal((5, 3, 3, 3))
+        res = conv2d_via_gemm(x, w, padding=1, engine=CakeGemm(intel))
+        assert res.y.shape == (5, 10, 10)
+        np.testing.assert_allclose(
+            res.y, padded_direct_conv(x, w, padding=1), rtol=1e-9
+        )
+
+    def test_stride_two_with_padding(self, intel, rng):
+        x = rng.standard_normal((2, 11, 11))
+        w = rng.standard_normal((4, 2, 3, 3))
+        res = conv2d_via_gemm(x, w, stride=2, padding=1, engine=CakeGemm(intel))
+        np.testing.assert_allclose(
+            res.y, padded_direct_conv(x, w, stride=2, padding=1), rtol=1e-9
+        )
+
+    def test_bias(self, intel, rng):
+        x = rng.standard_normal((2, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        bias = rng.standard_normal(3)
+        res = conv2d_via_gemm(x, w, bias, engine=CakeGemm(intel))
+        expected = padded_direct_conv(x, w) + bias[:, None, None]
+        np.testing.assert_allclose(res.y, expected, rtol=1e-9)
+
+    def test_bad_bias_shape(self, intel, rng):
+        x = rng.standard_normal((2, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        with pytest.raises(ValueError, match="bias"):
+            conv2d_via_gemm(x, w, np.zeros(5), engine=CakeGemm(intel))
+
+    def test_gemm_shape_accounts_for_padding(self):
+        assert conv2d_gemm_shape(3, 10, 10, 5, 3, 3, padding=1) == (5, 100, 27)
+
+    def test_negative_padding_rejected(self, rng):
+        with pytest.raises(ValueError, match="padding"):
+            im2col(rng.standard_normal((1, 5, 5)), 3, 3, padding=-1)
+
+
+class TestCol2Im:
+    def test_adjoint_identity(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining property of
+        an adjoint pair, checked on random tensors."""
+        x = rng.standard_normal((2, 7, 7))
+        cols_shape = im2col(x, 3, 3, stride=2, padding=1).shape
+        y = rng.standard_normal(cols_shape)
+        lhs = np.sum(im2col(x, 3, 3, 2, 1) * y)
+        rhs = np.sum(x * col2im(y, (2, 7, 7), 3, 3, 2, 1))
+        assert lhs == pytest.approx(rhs)
+
+    def test_shape_check(self, rng):
+        with pytest.raises(ValueError, match="expected"):
+            col2im(rng.standard_normal((5, 5)), (1, 6, 6), 2, 2)
+
+
+class TestGradients:
+    def _numeric_weight_grad(self, x, w, dy, stride, padding, eps=1e-6):
+        grad = np.zeros_like(w)
+        it = np.nditer(w, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            wp, wm = w.copy(), w.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            yp = padded_direct_conv(x, wp, stride, padding)
+            ym = padded_direct_conv(x, wm, stride, padding)
+            grad[idx] = np.sum((yp - ym) * dy) / (2 * eps)
+            it.iternext()
+        return grad
+
+    def test_weight_gradient_matches_numeric(self, intel, rng):
+        x = rng.standard_normal((2, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        dy = rng.standard_normal((3, 4, 4))
+        res = conv2d_weight_gradient(x, dy, (3, 3), engine=CakeGemm(intel))
+        numeric = self._numeric_weight_grad(x, w, dy, 1, 0)
+        np.testing.assert_allclose(res.y, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_weight_gradient_with_padding_stride(self, intel, rng):
+        x = rng.standard_normal((1, 7, 7))
+        w = rng.standard_normal((2, 1, 3, 3))
+        dy = rng.standard_normal(padded_direct_conv(x, w, 2, 1).shape)
+        res = conv2d_weight_gradient(
+            x, dy, (3, 3), stride=2, padding=1, engine=CakeGemm(intel)
+        )
+        numeric = self._numeric_weight_grad(x, w, dy, 2, 1)
+        np.testing.assert_allclose(res.y, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_input_gradient_matches_numeric(self, intel, rng):
+        x = rng.standard_normal((2, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        dy = rng.standard_normal((3, 4, 4))
+        res = conv2d_input_gradient(w, dy, (2, 6, 6), engine=CakeGemm(intel))
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        it = np.nditer(x, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            diff = padded_direct_conv(xp, w) - padded_direct_conv(xm, w)
+            numeric[idx] = np.sum(diff * dy) / (2 * eps)
+            it.iternext()
+        np.testing.assert_allclose(res.y, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_dy_shape_mismatch_rejected(self, intel, rng):
+        x = rng.standard_normal((2, 6, 6))
+        dy = rng.standard_normal((3, 5, 5))  # wrong spatial size
+        with pytest.raises(ValueError, match="patch positions"):
+            conv2d_weight_gradient(x, dy, (3, 3), engine=CakeGemm(intel))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(1, 2), st.integers(5, 8), st.integers(1, 3),
+        st.integers(0, 1), st.integers(1, 2),
+    )
+    def test_gradient_gemms_are_consistent(self, c, h, c_out, padding, stride):
+        """dW from the GEMM lowering equals the einsum formulation for
+        random geometries."""
+        from repro.machines import intel_i9_10900k
+
+        rng = np.random.default_rng(c * 37 + h * 5 + c_out)
+        x = rng.standard_normal((c, h, h))
+        r = 3
+        if h + 2 * padding < r:
+            return
+        w = rng.standard_normal((c_out, c, r, r))
+        y = padded_direct_conv(x, w, stride, padding)
+        dy = rng.standard_normal(y.shape)
+        res = conv2d_weight_gradient(
+            x, dy, (r, r), stride=stride, padding=padding,
+            engine=CakeGemm(intel_i9_10900k()),
+        )
+        cols = im2col(x, r, r, stride, padding)
+        expected = (dy.reshape(c_out, -1) @ cols.T).reshape(w.shape)
+        np.testing.assert_allclose(res.y, expected, rtol=1e-9)

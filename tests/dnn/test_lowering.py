@@ -1,0 +1,127 @@
+"""Tests for the conv-to-GEMM lowering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnn import (
+    ConvLayer,
+    conv2d_gemm_shape,
+    conv2d_via_gemm,
+    im2col,
+    resnet_like_layers,
+    tiny_cnn_layers,
+)
+from repro.gemm import CakeGemm, GotoGemm
+
+
+def direct_conv(x: np.ndarray, w: np.ndarray, stride: int = 1) -> np.ndarray:
+    """Independent reference convolution (sliding-window einsum)."""
+    c_out, c_in, r, s = w.shape
+    windows = np.lib.stride_tricks.sliding_window_view(x, (c_in, r, s))[0]
+    windows = windows[::stride, ::stride]
+    return np.einsum("hwcrs,ocrs->ohw", windows, w)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((3, 8, 8))
+        cols = im2col(x, 3, 3)
+        assert cols.shape == (3 * 9, 6 * 6)
+
+    def test_stride(self, rng):
+        x = rng.standard_normal((2, 9, 9))
+        cols = im2col(x, 3, 3, stride=2)
+        assert cols.shape == (18, 16)  # 4x4 output positions
+
+    def test_values_match_explicit_patches(self, rng):
+        x = rng.standard_normal((2, 5, 5))
+        cols = im2col(x, 2, 2)
+        # patch at output position (1, 2)
+        patch = x[:, 1:3, 2:4].reshape(-1)
+        np.testing.assert_array_equal(cols[:, 1 * 4 + 2], patch)
+
+    def test_kernel_too_big_rejected(self, rng):
+        with pytest.raises(ValueError, match="does not fit"):
+            im2col(rng.standard_normal((1, 3, 3)), 4, 4)
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError, match=r"\(C, H, W\)"):
+            im2col(np.zeros((4, 4)), 2, 2)
+
+    @settings(max_examples=20)
+    @given(
+        st.integers(1, 3), st.integers(4, 9), st.integers(4, 9),
+        st.integers(1, 3), st.integers(1, 2),
+    )
+    def test_gemm_equals_direct_conv(self, c, h, w, r, stride):
+        rng = np.random.default_rng(c * 100 + h * 10 + w)
+        x = rng.standard_normal((c, h, w))
+        weights = rng.standard_normal((2, c, r, r))
+        cols = im2col(x, r, r, stride)
+        y = (weights.reshape(2, -1) @ cols).reshape(2, *direct_conv(x, weights, stride).shape[1:])
+        np.testing.assert_allclose(y, direct_conv(x, weights, stride), rtol=1e-10)
+
+
+class TestConvViaGemm:
+    def test_matches_direct_conv_cake(self, intel, rng):
+        x = rng.standard_normal((3, 16, 16))
+        w = rng.standard_normal((8, 3, 3, 3))
+        result = conv2d_via_gemm(x, w, engine=CakeGemm(intel))
+        np.testing.assert_allclose(result.y, direct_conv(x, w), rtol=1e-9)
+
+    def test_matches_direct_conv_goto(self, arm, rng):
+        x = rng.standard_normal((4, 12, 12))
+        w = rng.standard_normal((6, 4, 3, 3))
+        result = conv2d_via_gemm(x, w, engine=GotoGemm(arm))
+        np.testing.assert_allclose(result.y, direct_conv(x, w), rtol=1e-9)
+
+    def test_default_engine(self, rng):
+        x = rng.standard_normal((2, 8, 8))
+        w = rng.standard_normal((4, 2, 3, 3))
+        result = conv2d_via_gemm(x, w)
+        np.testing.assert_allclose(result.y, direct_conv(x, w), rtol=1e-9)
+
+    def test_run_report_attached(self, intel, rng):
+        x = rng.standard_normal((2, 8, 8))
+        w = rng.standard_normal((4, 2, 3, 3))
+        result = conv2d_via_gemm(x, w, engine=CakeGemm(intel))
+        assert result.run.gflops > 0
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="channels"):
+            conv2d_via_gemm(
+                rng.standard_normal((3, 8, 8)),
+                rng.standard_normal((4, 2, 3, 3)),
+            )
+
+    def test_bad_weights_rank_rejected(self, rng):
+        with pytest.raises(ValueError, match="C_out"):
+            conv2d_via_gemm(
+                rng.standard_normal((3, 8, 8)),
+                rng.standard_normal((4, 27)),
+            )
+
+
+class TestLayerZoo:
+    def test_gemm_shape_formula(self):
+        assert conv2d_gemm_shape(3, 32, 32, 32, 3, 3) == (32, 30 * 30, 27)
+
+    def test_tiny_cnn_chains(self):
+        """Each layer's input channels match the previous output, and
+        spatial sizes match after the example's pooling points."""
+        layers = tiny_cnn_layers()
+        assert layers[0].c_in == 3
+        for prev, cur in zip(layers, layers[1:]):
+            assert cur.c_in == prev.c_out
+
+    def test_resnet_shapes_are_skewed(self):
+        """The motivating workload: early layers are N >> M (Figure 8's
+        skewed regime)."""
+        m, n, k = resnet_like_layers()[0].gemm_shape()
+        assert n > 10 * m
+
+    def test_layer_is_frozen(self):
+        layer = ConvLayer("x", 1, 8, 8, 1, 3, 3)
+        with pytest.raises(AttributeError):
+            layer.c_in = 2

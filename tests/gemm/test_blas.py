@@ -1,0 +1,112 @@
+"""Tests for the BLAS-style gemm surface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gemm import CakeGemm, GotoGemm, gemm
+
+
+class TestGemmSemantics:
+    def test_plain_product(self, intel, rng):
+        a = rng.standard_normal((60, 40))
+        b = rng.standard_normal((40, 50))
+        run = gemm(a, b, engine=CakeGemm(intel))
+        np.testing.assert_allclose(run.c, a @ b, rtol=1e-10)
+
+    def test_alpha_scales(self, intel, rng):
+        a = rng.standard_normal((30, 30))
+        b = rng.standard_normal((30, 30))
+        run = gemm(a, b, alpha=2.5, engine=CakeGemm(intel))
+        np.testing.assert_allclose(run.c, 2.5 * (a @ b), rtol=1e-10)
+
+    def test_beta_accumulates(self, intel, rng):
+        a = rng.standard_normal((30, 30))
+        b = rng.standard_normal((30, 30))
+        c = rng.standard_normal((30, 30))
+        run = gemm(a, b, c, alpha=0.5, beta=-1.5, engine=CakeGemm(intel))
+        np.testing.assert_allclose(run.c, 0.5 * (a @ b) - 1.5 * c, rtol=1e-9)
+
+    def test_input_c_not_mutated(self, intel, rng):
+        a = rng.standard_normal((20, 20))
+        b = rng.standard_normal((20, 20))
+        c = rng.standard_normal((20, 20))
+        c_copy = c.copy()
+        gemm(a, b, c, beta=1.0, engine=CakeGemm(intel))
+        np.testing.assert_array_equal(c, c_copy)
+
+    def test_transpose_a(self, intel, rng):
+        a = rng.standard_normal((40, 60))
+        b = rng.standard_normal((40, 50))
+        run = gemm(a, b, transpose_a=True, engine=CakeGemm(intel))
+        np.testing.assert_allclose(run.c, a.T @ b, rtol=1e-10)
+
+    def test_transpose_b(self, intel, rng):
+        a = rng.standard_normal((60, 40))
+        b = rng.standard_normal((50, 40))
+        run = gemm(a, b, transpose_b=True, engine=CakeGemm(intel))
+        np.testing.assert_allclose(run.c, a @ b.T, rtol=1e-10)
+
+    def test_transpose_both_on_goto(self, arm, rng):
+        a = rng.standard_normal((40, 60))
+        b = rng.standard_normal((50, 40))
+        run = gemm(
+            a, b, transpose_a=True, transpose_b=True, engine=GotoGemm(arm)
+        )
+        np.testing.assert_allclose(run.c, a.T @ b.T, rtol=1e-10)
+
+    def test_default_engine(self, rng):
+        a = rng.standard_normal((16, 16))
+        run = gemm(a, a)
+        np.testing.assert_allclose(run.c, a @ a, rtol=1e-10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(2, 40), st.integers(2, 40), st.integers(2, 40),
+        st.floats(-2, 2), st.floats(-2, 2),
+        st.booleans(), st.booleans(),
+    )
+    def test_blas_identity(self, m, n, k, alpha, beta, ta, tb):
+        from repro.machines import intel_i9_10900k
+
+        rng = np.random.default_rng(m * 1009 + n * 17 + k)
+        a = rng.standard_normal((k, m) if ta else (m, k))
+        b = rng.standard_normal((n, k) if tb else (k, n))
+        c = rng.standard_normal((m, n))
+        run = gemm(
+            a, b, c, alpha=alpha, beta=beta, transpose_a=ta, transpose_b=tb,
+            engine=CakeGemm(intel_i9_10900k()),
+        )
+        op_a = a.T if ta else a
+        op_b = b.T if tb else b
+        expected = alpha * (op_a @ op_b) + (beta * c if beta != 0.0 else 0.0)
+        np.testing.assert_allclose(run.c, expected, rtol=1e-8, atol=1e-9)
+
+
+class TestGemmValidation:
+    def test_beta_without_c_rejected(self, intel, rng):
+        a = rng.standard_normal((8, 8))
+        with pytest.raises(ValueError, match="requires an input C"):
+            gemm(a, a, beta=1.0, engine=CakeGemm(intel))
+
+    def test_wrong_c_shape_rejected(self, intel, rng):
+        a = rng.standard_normal((8, 8))
+        c = rng.standard_normal((4, 4))
+        with pytest.raises(ValueError, match="expected"):
+            gemm(a, a, c, beta=1.0, engine=CakeGemm(intel))
+
+    def test_inner_mismatch_after_transpose(self, intel, rng):
+        a = rng.standard_normal((8, 6))
+        b = rng.standard_normal((8, 4))
+        with pytest.raises(ValueError, match="after transposition"):
+            gemm(a, b, engine=CakeGemm(intel))
+
+    def test_beta_adds_c_traffic(self, intel, rng):
+        a = rng.standard_normal((32, 32))
+        c = rng.standard_normal((32, 32))
+        plain = gemm(a, a, engine=CakeGemm(intel))
+        fused = gemm(a, a, c, beta=1.0, engine=CakeGemm(intel))
+        assert (
+            fused.counters.ext_c_read
+            == plain.counters.ext_c_read + c.size
+        )

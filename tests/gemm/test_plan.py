@@ -1,0 +1,83 @@
+"""Tests for plan derivation edge cases and the alpha-selection scan."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import cake_block_fits
+from repro.errors import ConfigurationError
+from repro.gemm.plan import ALPHA_GRID, CakePlan, GotoPlan, _balanced_extent
+from repro.machines import intel_i9_10900k
+from repro.schedule.space import ComputationSpace
+
+SPACE = ComputationSpace(2000, 2000, 2000)
+
+
+class TestAlphaSelection:
+    def test_plentiful_bandwidth_picks_alpha_one(self, intel):
+        plan = CakePlan.from_problem(intel, SPACE)
+        assert plan.alpha == 1.0
+
+    def test_starved_bandwidth_stretches_alpha(self, intel):
+        starved = dataclasses.replace(
+            intel, dram_gb_per_s=1.8, llc_bytes=intel.llc_bytes * 4
+        )
+        plan = CakePlan.from_problem(starved, SPACE)
+        assert plan.alpha > 1.0
+
+    def test_explicit_alpha_respected(self, intel):
+        plan = CakePlan.from_problem(intel, SPACE, alpha=3.0)
+        assert plan.alpha == 3.0
+        assert plan.mc < CakePlan.from_problem(intel, SPACE, alpha=1.0).mc
+
+    def test_chosen_block_always_fits_lru_rule(self, intel):
+        for dram in (40.0, 4.0, 0.4):
+            machine = dataclasses.replace(intel, dram_gb_per_s=dram)
+            plan = CakePlan.from_problem(machine, SPACE)
+            assert cake_block_fits(plan.cpu_params, machine.llc_elements)
+
+    def test_grid_is_finite_and_ordered(self):
+        assert ALPHA_GRID[0] == 1.0
+        assert list(ALPHA_GRID) == sorted(ALPHA_GRID)
+
+    def test_no_feasible_block_raises(self, intel):
+        hopeless = dataclasses.replace(
+            intel, llc_bytes=256, l2_bytes=64, l1_bytes=64
+        )
+        with pytest.raises(ConfigurationError):
+            CakePlan.from_problem(hopeless, SPACE)
+
+    def test_cores_beyond_machine_rejected(self, intel):
+        with pytest.raises(ConfigurationError, match="cores"):
+            CakePlan.from_problem(intel, SPACE, cores=99)
+
+
+class TestBalancedExtents:
+    def test_exact_fit_unchanged(self):
+        assert _balanced_extent(23040, 1920) == 1920
+
+    def test_remainder_rebalanced(self):
+        # 2000 against nominal 1920: two blocks of 1000 instead of
+        # 1920 + 80.
+        assert _balanced_extent(2000, 1920) == 1000
+
+    def test_small_problem_collapses(self):
+        assert _balanced_extent(500, 1920) == 500
+
+    def test_never_exceeds_nominal(self):
+        for total in (1, 100, 1919, 1920, 1921, 5000, 23040):
+            assert _balanced_extent(total, 1920) <= 1920
+
+
+class TestGotoPlan:
+    def test_kernel_and_params(self, intel):
+        plan = GotoPlan.from_problem(intel, SPACE)
+        assert plan.kernel.mr == intel.mr
+        assert plan.cpu_params.nc == plan.nc
+
+    def test_plan_independent_of_problem_size(self, intel):
+        """GOTO's tiles come from the caches alone — the rigidity CAKE
+        fixes."""
+        small = GotoPlan.from_problem(intel, ComputationSpace(100, 100, 100))
+        large = GotoPlan.from_problem(intel, SPACE)
+        assert (small.mc, small.nc) == (large.mc, large.nc)

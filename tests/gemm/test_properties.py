@@ -1,0 +1,105 @@
+"""Cross-substrate property tests: counter identities over random shapes.
+
+These pin the *algebraic* relationships between the engines, the schedule
+analyzer, and the closed forms of Section 4 — for arbitrary problem
+geometry, not just the figure sizes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gemm import CakeGemm, GotoGemm
+from repro.machines import intel_i9_10900k
+from repro.schedule import analyze_reuse
+from repro.util import ceil_div
+
+dims = st.integers(1, 3000)
+
+
+@st.composite
+def shapes(draw):
+    return draw(dims), draw(dims), draw(dims)
+
+
+class TestCakeCounterIdentities:
+    @settings(max_examples=25, deadline=None)
+    @given(shapes(), st.integers(1, 10))
+    def test_counters_equal_reuse_analyzer(self, shape, cores):
+        """For every geometry, executor residency tracking == analyzer."""
+        m, n, k = shape
+        eng = CakeGemm(intel_i9_10900k(), cores=cores)
+        run = eng.analyze(m, n, k)
+        plan = eng.plan_for(m, n, k)
+        io = analyze_reuse(plan.grid(), plan.schedule())
+        assert run.counters.ext_a_read == io.io_a
+        assert run.counters.ext_b_read == io.io_b
+        assert run.counters.ext_c_write == io.io_c_final == m * n
+
+    @settings(max_examples=25, deadline=None)
+    @given(shapes(), st.integers(1, 10))
+    def test_metric_identities(self, shape, cores):
+        m, n, k = shape
+        run = CakeGemm(intel_i9_10900k(), cores=cores).analyze(m, n, k)
+        assert run.gflops * run.seconds * 1e9 == pytest.approx(run.flops)
+        assert run.dram_gb_per_s * run.seconds * 1e9 == pytest.approx(
+            run.dram_bytes
+        )
+        assert run.counters.macs == m * n * k
+
+    @settings(max_examples=25, deadline=None)
+    @given(shapes())
+    def test_never_spills_partials(self, shape):
+        m, n, k = shape
+        run = CakeGemm(intel_i9_10900k()).analyze(m, n, k)
+        assert run.counters.ext_c_spill == 0
+        assert run.counters.ext_c_read == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(shapes())
+    def test_input_io_bounded_by_no_reuse_worst_case(self, shape):
+        """A and B traffic never exceeds re-fetching each surface for
+        every block that uses it."""
+        m, n, k = shape
+        eng = CakeGemm(intel_i9_10900k())
+        run = eng.analyze(m, n, k)
+        grid = eng.plan_for(m, n, k).grid()
+        assert run.counters.ext_a_read <= m * k * grid.nb
+        assert run.counters.ext_b_read <= k * n * grid.mb
+        # ... and never undershoots the compulsory minimum.
+        assert run.counters.ext_a_read >= m * k
+        assert run.counters.ext_b_read >= k * n
+
+
+class TestGotoCounterIdentities:
+    @settings(max_examples=25, deadline=None)
+    @given(shapes(), st.integers(1, 10))
+    def test_closed_forms(self, shape, cores):
+        """Section 4.1's traffic, exactly, for every geometry."""
+        m, n, k = shape
+        eng = GotoGemm(intel_i9_10900k(), cores=cores)
+        run = eng.analyze(m, n, k)
+        plan = eng.plan_for(m, n, k)
+        kb = ceil_div(k, min(plan.kc, k))
+        nb = ceil_div(n, min(plan.nc, n))
+        assert run.counters.ext_b_read == k * n
+        assert run.counters.ext_a_read == m * k * nb
+        assert run.counters.ext_c_write == m * n
+        assert run.counters.ext_c_spill == m * n * (kb - 1)
+        assert run.counters.ext_c_read == m * n * (kb - 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(shapes())
+    def test_cake_never_moves_more_external_data(self, shape):
+        """CAKE's compute-phase external traffic <= GOTO's, always.
+
+        (Their A/B terms can differ either way block-by-block, but
+        GOTO's partial-C stream dominates whenever K spans multiple
+        slices, and with one slice both engines hit the same compulsory
+        floor.)"""
+        m, n, k = shape
+        cake = CakeGemm(intel_i9_10900k()).analyze(m, n, k)
+        goto = GotoGemm(intel_i9_10900k()).analyze(m, n, k)
+        assert (
+            cake.counters.ext_compute_elements
+            <= goto.counters.ext_compute_elements * 1.05
+        )

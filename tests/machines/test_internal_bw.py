@@ -1,0 +1,49 @@
+"""Tests for internal-bandwidth curves."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machines import SaturatingCurve
+
+
+class TestSaturatingCurve:
+    def test_linear_region(self):
+        c = SaturatingCurve(per_core_gb_per_s=50.0, knee_cores=6)
+        assert c.bandwidth_gb_per_s(1) == 50.0
+        assert c.bandwidth_gb_per_s(6) == 300.0
+
+    def test_flat_past_knee(self):
+        c = SaturatingCurve(per_core_gb_per_s=50.0, knee_cores=6)
+        assert c.bandwidth_gb_per_s(10) == 300.0
+
+    def test_partial_post_knee_slope(self):
+        c = SaturatingCurve(
+            per_core_gb_per_s=50.0, knee_cores=6, post_knee_fraction=0.5
+        )
+        assert c.bandwidth_gb_per_s(8) == 300.0 + 2 * 25.0
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ValueError):
+            SaturatingCurve(50.0, 6, post_knee_fraction=1.5)
+
+    def test_rejects_nonpositive_cores_query(self):
+        c = SaturatingCurve(50.0, 6)
+        with pytest.raises(ValueError):
+            c.bandwidth_gb_per_s(0)
+
+    @given(
+        st.floats(0.1, 500.0),
+        st.integers(1, 64),
+        st.floats(0.0, 1.0),
+        st.integers(1, 128),
+    )
+    def test_monotone_nondecreasing(self, per_core, knee, frac, cores):
+        c = SaturatingCurve(per_core, knee, frac)
+        assert c.bandwidth_gb_per_s(cores + 1) >= c.bandwidth_gb_per_s(cores)
+
+    def test_linearised_removes_knee(self):
+        c = SaturatingCurve(50.0, 6, post_knee_fraction=0.1)
+        lin = c.linearised()
+        assert lin.bandwidth_gb_per_s(20) == pytest.approx(1000.0)
+        # agrees with the original inside the linear region
+        assert lin.bandwidth_gb_per_s(4) == c.bandwidth_gb_per_s(4)

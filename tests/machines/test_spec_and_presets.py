@@ -1,0 +1,111 @@
+"""Tests for MachineSpec and the Table 2 presets."""
+
+import pytest
+
+from repro.machines import (
+    PRESET_NAMES,
+    amd_ryzen_9_5950x,
+    arm_cortex_a53,
+    extrapolated_machine,
+    intel_i9_10900k,
+    preset,
+)
+from repro.util.units import BYTES_PER_GIB, BYTES_PER_KIB, BYTES_PER_MIB
+
+
+class TestTable2:
+    """Every preset must match its row of Table 2 exactly."""
+
+    def test_intel_row(self):
+        m = intel_i9_10900k()
+        assert m.l1_bytes == 32 * BYTES_PER_KIB
+        assert m.l2_bytes == 256 * BYTES_PER_KIB
+        assert m.llc_bytes == 20 * BYTES_PER_MIB
+        assert m.dram_bytes == 32 * BYTES_PER_GIB
+        assert m.cores == 10
+        assert m.dram_gb_per_s == 40.0
+
+    def test_amd_row(self):
+        m = amd_ryzen_9_5950x()
+        assert m.l1_bytes == 32 * BYTES_PER_KIB
+        assert m.l2_bytes == 512 * BYTES_PER_KIB
+        assert m.llc_bytes == 64 * BYTES_PER_MIB
+        assert m.dram_bytes == 128 * BYTES_PER_GIB
+        assert m.cores == 16
+        assert m.dram_gb_per_s == 47.0
+
+    def test_arm_row(self):
+        m = arm_cortex_a53()
+        assert m.l1_bytes == 16 * BYTES_PER_KIB
+        assert m.l2_bytes == 512 * BYTES_PER_KIB
+        assert m.llc_is_l2  # no L3 on the A53
+        assert m.dram_bytes == 1 * BYTES_PER_GIB
+        assert m.cores == 4
+        assert m.dram_gb_per_s == 2.0
+
+    def test_preset_lookup(self):
+        assert preset("intel-i9-10900k").name == "Intel i9-10900K"
+        assert set(PRESET_NAMES) == {
+            "intel-i9-10900k",
+            "amd-ryzen-9-5950x",
+            "arm-cortex-a53",
+        }
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown machine preset"):
+            preset("pentium-4")
+
+
+class TestSpecDerived:
+    def test_llc_elements(self, intel):
+        assert intel.llc_elements == 20 * BYTES_PER_MIB // 4
+
+    def test_arm_per_core_cache_is_l1(self, arm):
+        """With the shared L2 as LLC, the per-core level is the L1."""
+        assert arm.l2_elements == arm.l1_elements == 16 * BYTES_PER_KIB // 4
+
+    def test_peak_gflops(self, intel):
+        assert intel.peak_gflops() == pytest.approx(
+            10 * 3.7 * 30.0, rel=1e-9
+        )
+        assert intel.peak_gflops(5) == pytest.approx(intel.peak_gflops() / 2)
+
+    def test_tile_rate_scales_inverse_kc(self, intel):
+        assert intel.tile_ops_per_second(100) == pytest.approx(
+            2 * intel.tile_ops_per_second(200)
+        )
+
+    def test_with_cores(self, intel):
+        m5 = intel.with_cores(5)
+        assert m5.cores == 5
+        assert m5.llc_bytes == intel.llc_bytes
+
+    def test_dram_efficiency_bounds(self, intel):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(intel, dram_efficiency=1.5)
+
+
+class TestExtrapolation:
+    """The Figures 10-12 dotted-line machine growth assumptions."""
+
+    def test_restriction_is_plain(self, intel):
+        m = extrapolated_machine(intel, 5)
+        assert m.cores == 5
+        assert m.llc_bytes == intel.llc_bytes
+
+    def test_llc_grows_quadratically(self, intel):
+        m = extrapolated_machine(intel, 20)
+        assert m.llc_bytes == intel.llc_bytes * 4
+
+    def test_internal_bw_linearised(self, intel):
+        m = extrapolated_machine(intel, 20)
+        per_core = intel.internal_bw.per_core_gb_per_s
+        assert m.internal_bw.bandwidth_gb_per_s(20) == pytest.approx(
+            20 * per_core
+        )
+
+    def test_dram_bw_fixed(self, intel):
+        m = extrapolated_machine(intel, 20)
+        assert m.dram_gb_per_s == intel.dram_gb_per_s

@@ -1,0 +1,110 @@
+"""Validation-path tests for MachineSpec and related edge cases."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machines import (
+    MEMORY_TECHNOLOGIES,
+    SaturatingCurve,
+    ddr_machine,
+    extrapolated_machine,
+    hbm_stacked_machine,
+    intel_i9_10900k,
+    nvm_machine,
+)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cores", 0),
+            ("clock_hz", 0.0),
+            ("flops_per_cycle_per_core", -1.0),
+            ("l1_bytes", 0),
+            ("llc_bytes", 0),
+            ("dram_gb_per_s", 0.0),
+            ("mr", 0),
+            ("internal_traffic_factor", 0.0),
+            ("external_traffic_factor", -2.0),
+            ("element_bytes", 0),
+        ],
+    )
+    def test_rejects_nonpositive(self, intel, field, value):
+        with pytest.raises(ValueError):
+            dataclasses.replace(intel, **{field: value})
+
+    def test_with_cores_rejects_zero(self, intel):
+        with pytest.raises(ValueError):
+            intel.with_cores(0)
+
+    def test_tile_flops_rejects_bad_kc(self, intel):
+        with pytest.raises(ValueError):
+            intel.tile_flops(0)
+
+
+class TestExtrapolationEdges:
+    def test_requires_saturating_curve(self, intel):
+        class WeirdCurve:
+            def bandwidth_gb_per_s(self, cores: int) -> float:
+                return 1.0
+
+        odd = dataclasses.replace(intel, internal_bw=WeirdCurve())
+        with pytest.raises(ConfigurationError, match="SaturatingCurve"):
+            extrapolated_machine(odd, 20)
+
+    def test_protocol_accepts_custom_curves(self, intel):
+        """Any object with the right method is a valid curve for use."""
+        class FlatCurve:
+            def bandwidth_gb_per_s(self, cores: int) -> float:
+                return 123.0
+
+        odd = dataclasses.replace(intel, internal_bw=FlatCurve())
+        assert odd.internal_bytes_per_second(4) == 123.0e9
+
+
+class TestMemoryTechnologies:
+    def test_registry(self):
+        assert set(MEMORY_TECHNOLOGIES) == {"hbm", "ddr", "nvm"}
+
+    def test_only_memory_varies(self):
+        """The compute complex is held fixed across the spectrum."""
+        specs = [hbm_stacked_machine(), ddr_machine(), nvm_machine()]
+        assert len({s.cores for s in specs}) == 1
+        assert len({s.llc_bytes for s in specs}) == 1
+        assert len({s.flops_per_cycle_per_core for s in specs}) == 1
+
+    def test_bandwidth_ordering(self):
+        assert (
+            hbm_stacked_machine().dram_bytes_per_second
+            > ddr_machine().dram_bytes_per_second
+            > nvm_machine().dram_bytes_per_second
+        )
+
+    def test_nvm_has_huge_capacity(self):
+        assert nvm_machine().dram_bytes > 8 * intel_i9_10900k().dram_bytes
+
+
+class TestReportCsv:
+    def test_csv_round_trip(self):
+        import csv
+        import io
+
+        from repro.bench import ExperimentReport
+
+        rep = ExperimentReport("x", "t")
+        rep.add_table(["a", "b"], [[1, 2], [3, 4]])
+        rep.add_table(["c"], [[5]])
+        blocks = rep.csv().split("\n\n")
+        assert len(blocks) == 2
+        rows = list(csv.reader(io.StringIO(blocks[0])))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_cli_csv_flag(self, tmp_path):
+        from repro.bench.cli import main
+
+        assert main(["table2", "--out", str(tmp_path), "--csv"]) == 0
+        assert (tmp_path / "table2.csv").exists()
+        assert "Intel i9-10900K" in (tmp_path / "table2.csv").read_text()

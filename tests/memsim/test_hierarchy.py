@@ -1,0 +1,106 @@
+"""Tests for the multi-level hierarchy and the Figure 7 profiles."""
+
+import pytest
+
+from repro.machines import arm_cortex_a53, intel_i9_10900k
+from repro.memsim import MemoryHierarchy, profile_cake, profile_goto
+
+
+class TestMemoryHierarchy:
+    def test_first_access_served_by_dram(self, intel):
+        h = MemoryHierarchy(intel, cores=2)
+        assert h.access(0, "x", 1024) == "DRAM"
+
+    def test_repeat_access_served_by_l1(self, intel):
+        h = MemoryHierarchy(intel, cores=2)
+        h.access(0, "x", 1024)
+        assert h.access(0, "x", 1024) == "L1"
+
+    def test_cross_core_sharing_via_llc(self, intel):
+        """An object filled by core 0 hits the shared LLC from core 1."""
+        h = MemoryHierarchy(intel, cores=2)
+        h.access(0, "x", 1024)
+        assert h.access(1, "x", 1024) == "LLC"
+
+    def test_object_too_big_for_l1_served_by_l2(self, intel):
+        h = MemoryHierarchy(intel, cores=1)
+        size = intel.l1_bytes * 2  # fits L2, not L1
+        h.access(0, "big", size)
+        assert h.access(0, "big", size) == "L2"
+
+    def test_arm_has_no_private_l2(self, arm):
+        h = MemoryHierarchy(arm, cores=2)
+        size = arm.l1_bytes * 2
+        h.access(0, "big", size)
+        assert h.access(0, "big", size) == "LLC"
+
+    def test_stall_cycles_use_machine_latencies(self, intel):
+        h = MemoryHierarchy(intel, cores=1)
+        h.access(0, "x", 64)  # DRAM
+        h.access(0, "x", 64)  # L1
+        profile = h.stall_profile()
+        assert profile["DRAM"] == intel.dram_latency_cycles
+        assert profile["L1"] == intel.l1_latency_cycles
+
+    def test_dram_bytes_accumulate(self, intel):
+        h = MemoryHierarchy(intel, cores=1)
+        h.access(0, "x", 100)
+        h.write_back(50)
+        assert h.dram_bytes == 150
+
+    def test_invalid_core_rejected(self, intel):
+        h = MemoryHierarchy(intel, cores=2)
+        with pytest.raises(ValueError):
+            h.access(2, "x", 64)
+
+    def test_level_stats_consistency(self, intel):
+        h = MemoryHierarchy(intel, cores=1)
+        for i in range(10):
+            h.access(0, i, 64)
+        for i in range(10):
+            h.access(0, i, 64)
+        stats = h.level_stats()
+        assert sum(s.hits for s in stats.values()) == 20
+
+
+class TestFigure7Profiles:
+    """The paper's Figure 7 claims, at reduced problem scale.
+
+    Sizes are chosen so the C matrix exceeds the LLC (as in the paper's
+    experiments) while the trace stays fast.
+    """
+
+    @pytest.fixture(scope="class")
+    def intel_profiles(self):
+        m = intel_i9_10900k()
+        size = 2304  # C = 21 MB > 20 MiB LLC
+        return profile_cake(m, size, size, size), profile_goto(m, size, size, size)
+
+    def test_cake_stalls_are_mostly_local(self, intel_profiles):
+        """Figure 7a: with CAKE the CPU is most often stalled on local
+        memory; with MKL, on main memory."""
+        cake, goto = intel_profiles
+        assert cake.local_stall_fraction > 0.5
+        assert goto.local_stall_fraction < 0.3
+
+    def test_goto_stalls_more_on_dram(self, intel_profiles):
+        cake, goto = intel_profiles
+        assert goto.stall_profile["DRAM"] > 2 * cake.stall_profile["DRAM"]
+
+    def test_goto_makes_more_dram_requests(self, intel_profiles):
+        """Figure 7b's companion claim (~2.5x more DRAM requests)."""
+        cake, goto = intel_profiles
+        assert goto.dram_accesses > 2 * cake.dram_accesses
+
+    def test_arm_profile_shifts_to_internal(self):
+        """Figure 7b: CAKE serves more requests from L1/L2; ARMPL relies
+        on main-memory transfers."""
+        m = arm_cortex_a53()
+        cake = profile_cake(m, 1000, 1000, 1000)
+        goto = profile_goto(m, 1000, 1000, 1000)
+        assert cake.dram_accesses < goto.dram_accesses / 2
+        assert cake.l2_hits > goto.l2_hits
+
+    def test_dram_bytes_tracked(self, intel_profiles):
+        cake, goto = intel_profiles
+        assert 0 < cake.dram_bytes < goto.dram_bytes

@@ -1,0 +1,81 @@
+"""Tests for trace recording, replay, and serialisation."""
+
+import pytest
+
+from repro.machines import intel_i9_10900k
+from repro.memsim import MemoryHierarchy, TraceRecorder, replay
+from repro.memsim.trace import Access, dumps, loads
+
+
+def small_workload(sink) -> None:
+    sink.access(0, ("A", 0), 4096)
+    sink.access(0, ("A", 0), 4096)
+    sink.access(1, ("B", 1), 8192, write=True)
+    sink.access(0, ("B", 1), 8192)
+
+
+class TestTraceRecorder:
+    def test_recording_is_transparent(self, intel):
+        plain = MemoryHierarchy(intel, cores=2)
+        small_workload(plain)
+
+        recorded = TraceRecorder(MemoryHierarchy(intel, cores=2))
+        small_workload(recorded)
+
+        assert (
+            recorded.hierarchy.level_stats()["L1"].hits
+            == plain.level_stats()["L1"].hits
+        )
+        assert len(recorded.trace) == 4
+
+    def test_write_back_forwarded(self, intel):
+        rec = TraceRecorder(MemoryHierarchy(intel, cores=1))
+        rec.write_back(128)
+        assert rec.hierarchy.dram_bytes == 128
+
+
+class TestReplay:
+    def test_replay_reproduces_stats(self, intel):
+        rec = TraceRecorder(MemoryHierarchy(intel, cores=2))
+        small_workload(rec)
+
+        fresh = replay(rec.trace, MemoryHierarchy(intel, cores=2))
+        assert fresh.level_stats() == rec.hierarchy.level_stats()
+
+    def test_replay_into_smaller_cache_changes_outcome(self, intel):
+        """The what-if workflow: same trace, half the LLC."""
+        import dataclasses
+
+        rec = TraceRecorder(MemoryHierarchy(intel, cores=2))
+        # Working set larger than a tiny LLC but fine for the real one.
+        for i in range(50):
+            rec.access(0, ("panel", i), 400_000)
+        for i in range(50):
+            rec.access(0, ("panel", i), 400_000)
+
+        tiny = dataclasses.replace(intel, llc_bytes=1_000_000)
+        starved = replay(rec.trace, MemoryHierarchy(tiny, cores=2))
+        assert (
+            starved.level_stats()["DRAM"].hits
+            > rec.hierarchy.level_stats()["DRAM"].hits
+        )
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        trace = [
+            Access(0, ("A", 1, 2), 1024),
+            Access(3, ("C", 0, 0, 5), 64, write=True),
+        ]
+        assert list(loads(dumps(trace))) == trace
+
+    def test_blank_lines_skipped(self):
+        assert list(loads("\n\n")) == []
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed trace line 1"):
+            list(loads("not a trace"))
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            list(loads("0\tR\t0\t('A',)"))

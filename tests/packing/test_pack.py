@@ -1,0 +1,101 @@
+"""Tests for operand packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.packing import pack_a_cake, pack_b_cake, packing_cost
+from repro.machines import intel_i9_10900k
+
+
+def small_matrix(max_dim=60):
+    shapes = st.tuples(st.integers(1, max_dim), st.integers(1, max_dim))
+    return shapes.flatmap(
+        lambda s: arrays(np.float64, s, elements=st.floats(-10, 10, width=64))
+    )
+
+
+class TestPackA:
+    def test_blocks_reassemble_to_source(self, rng):
+        a = rng.standard_normal((25, 17))
+        packed = pack_a_cake(a, 8, 5)
+        rebuilt = np.vstack(
+            [np.hstack(row) for row in packed.blocks]
+        )
+        np.testing.assert_array_equal(rebuilt, a)
+
+    def test_shapes(self, rng):
+        a = rng.standard_normal((25, 17))
+        packed = pack_a_cake(a, 8, 5)
+        assert packed.strips == 4  # 8+8+8+1
+        assert packed.k_panels == 4  # 5+5+5+2
+        assert packed.block(0, 0).shape == (8, 5)
+        assert packed.block(3, 3).shape == (1, 2)
+
+    def test_blocks_are_contiguous_copies(self, rng):
+        a = rng.standard_normal((16, 16))
+        packed = pack_a_cake(a, 8, 8)
+        blk = packed.block(0, 0)
+        assert blk.flags["C_CONTIGUOUS"]
+        blk[0, 0] = 999.0
+        assert a[0, 0] != 999.0  # packing copied, not aliased
+
+    def test_elements_preserved(self, rng):
+        a = rng.standard_normal((25, 17))
+        assert pack_a_cake(a, 8, 5).elements == a.size
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(TypeError):
+            pack_a_cake(np.zeros(5), 2, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pack_a_cake(np.zeros((0, 3)), 2, 2)
+
+    @settings(max_examples=30)
+    @given(small_matrix(), st.integers(1, 16), st.integers(1, 16))
+    def test_roundtrip_property(self, a, mc, kc):
+        packed = pack_a_cake(a, mc, kc)
+        rebuilt = np.vstack([np.hstack(row) for row in packed.blocks])
+        np.testing.assert_array_equal(rebuilt, a)
+
+
+class TestPackB:
+    def test_panels_reassemble_to_source(self, rng):
+        b = rng.standard_normal((19, 33))
+        packed = pack_b_cake(b, 6, 10)
+        rebuilt = np.vstack([np.hstack(row) for row in packed.panels])
+        np.testing.assert_array_equal(rebuilt, b)
+
+    def test_panel_lookup(self, rng):
+        b = rng.standard_normal((19, 33))
+        packed = pack_b_cake(b, 6, 10)
+        np.testing.assert_array_equal(packed.panel(0, 1), b[0:6, 10:20])
+
+    @settings(max_examples=30)
+    @given(small_matrix(), st.integers(1, 16), st.integers(1, 16))
+    def test_roundtrip_property(self, b, kc, nb):
+        packed = pack_b_cake(b, kc, nb)
+        rebuilt = np.vstack([np.hstack(row) for row in packed.panels])
+        np.testing.assert_array_equal(rebuilt, b)
+
+
+class TestPackingCost:
+    def test_read_plus_write(self):
+        m = intel_i9_10900k()
+        cost = packing_cost(m, elements_a=1000, elements_b=500)
+        assert cost.bytes_moved == 2 * 1500 * 4
+
+    def test_seconds_scale_with_traffic_factor(self):
+        m = intel_i9_10900k()
+        cost = packing_cost(m, 10**6, 10**6)
+        expected = (
+            2 * 2 * 10**6 * 4 * m.external_traffic_factor
+        ) / m.dram_bytes_per_second
+        assert cost.seconds == pytest.approx(expected)
+
+    def test_addition(self):
+        m = intel_i9_10900k()
+        c = packing_cost(m, 100, 0) + packing_cost(m, 0, 100)
+        assert c.bytes_moved == packing_cost(m, 100, 100).bytes_moved

@@ -1,0 +1,111 @@
+"""Tests for the per-block roofline pricing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.perfmodel import block_time
+from repro.perfmodel.roofline import ZERO_TIME
+
+
+class TestBlockTime:
+    def test_compute_bound(self, intel):
+        bt = block_time(
+            intel,
+            active_cores=10,
+            tile_cycles=1_000_000,
+            kc=192,
+            ext_bytes=64,
+            int_elements=64,
+        )
+        assert bt.bound == "compute"
+        assert bt.seconds == bt.compute_seconds
+
+    def test_external_bound(self, intel):
+        bt = block_time(
+            intel,
+            active_cores=10,
+            tile_cycles=1,
+            kc=192,
+            ext_bytes=10**9,
+            int_elements=64,
+        )
+        assert bt.bound == "external"
+        assert bt.seconds == bt.external_seconds
+
+    def test_internal_bound(self, intel):
+        bt = block_time(
+            intel,
+            active_cores=1,
+            tile_cycles=1,
+            kc=192,
+            ext_bytes=0,
+            int_elements=10**9,
+        )
+        assert bt.bound == "internal"
+
+    def test_compute_seconds_formula(self, intel):
+        bt = block_time(
+            intel, active_cores=4, tile_cycles=100.0, kc=100,
+            ext_bytes=0, int_elements=0,
+        )
+        assert bt.compute_seconds == pytest.approx(
+            100.0 / intel.tile_ops_per_second(100)
+        )
+
+    def test_external_seconds_include_traffic_factor(self, intel):
+        bt = block_time(
+            intel, active_cores=1, tile_cycles=0, kc=100,
+            ext_bytes=1000, int_elements=0,
+        )
+        expected = 1000 * intel.external_traffic_factor / intel.dram_bytes_per_second
+        assert bt.external_seconds == pytest.approx(expected)
+
+    def test_internal_seconds_scale_with_cores(self, amd):
+        """More active cores -> more internal-bandwidth supply (AMD's
+        curve is linear, so exactly proportional)."""
+        bt1 = block_time(
+            amd, active_cores=1, tile_cycles=0, kc=100,
+            ext_bytes=0, int_elements=10**6,
+        )
+        bt4 = block_time(
+            amd, active_cores=4, tile_cycles=0, kc=100,
+            ext_bytes=0, int_elements=10**6,
+        )
+        assert bt1.internal_seconds == pytest.approx(4 * bt4.internal_seconds)
+
+    def test_addition_accumulates(self, intel):
+        bt = block_time(
+            intel, active_cores=1, tile_cycles=10, kc=10,
+            ext_bytes=10, int_elements=10,
+        )
+        total = ZERO_TIME + bt + bt
+        assert total.seconds == pytest.approx(2 * bt.seconds)
+        assert total.compute_seconds == pytest.approx(2 * bt.compute_seconds)
+
+    def test_rejects_bad_args(self, intel):
+        with pytest.raises(ValueError):
+            block_time(
+                intel, active_cores=0, tile_cycles=1, kc=1,
+                ext_bytes=0, int_elements=0,
+            )
+        with pytest.raises(ValueError):
+            block_time(
+                intel, active_cores=1, tile_cycles=-1, kc=1,
+                ext_bytes=0, int_elements=0,
+            )
+
+    @given(
+        st.floats(0, 1e9), st.floats(0, 1e9), st.floats(0, 1e9),
+    )
+    def test_max_semantics(self, cycles, ext, internal):
+        """Block time is always the max of the three components."""
+        from repro.machines import intel_i9_10900k
+
+        machine = intel_i9_10900k()
+        bt = block_time(
+            machine, active_cores=5, tile_cycles=cycles, kc=100,
+            ext_bytes=ext, int_elements=internal,
+        )
+        assert bt.seconds == pytest.approx(
+            max(bt.compute_seconds, bt.external_seconds, bt.internal_seconds)
+        )

@@ -1,0 +1,163 @@
+"""Tests for the surface-reuse/IO analyzer (Section 2.2 claims)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CBBlock
+from repro.errors import ScheduleError
+from repro.schedule import (
+    BlockCoord,
+    BlockGrid,
+    ComputationSpace,
+    analyze_reuse,
+    kfirst_schedule,
+    mfirst_schedule,
+    naive_schedule,
+    nfirst_schedule,
+)
+
+grids = st.builds(
+    lambda m, n, k, bm, bn, bk: BlockGrid(
+        ComputationSpace(m, n, k), CBBlock(bm, bn, bk)
+    ),
+    st.integers(2, 40),
+    st.integers(2, 40),
+    st.integers(2, 40),
+    st.integers(1, 6),
+    st.integers(1, 6),
+    st.integers(1, 6),
+)
+
+
+@st.composite
+def cb_shaped_grids(draw):
+    """Grids of properly CB-shaped blocks tiling the space exactly.
+
+    The paper's K-first-optimality argument relies on CB shaping: the
+    partial-C surface is the *largest* surface of a block (``m, n >= k``,
+    Section 3), so spilling it is the most expensive choice. It is not a
+    claim about arbitrary block shapes — for pancake-thin blocks a
+    partial spill can cost less than a forfeited B fetch. It also needs
+    an actual reduction to schedule (``kb >= 2``); with a single
+    K-slice there are no partials and the orders degenerate.
+    """
+    bk = draw(st.integers(1, 4))
+    bm = draw(st.integers(bk, 6))
+    bn = draw(st.integers(bk, 6))
+    mb = draw(st.integers(1, 6))
+    nb = draw(st.integers(1, 6))
+    kb = draw(st.integers(2, 6))
+    return BlockGrid(
+        ComputationSpace(bm * mb, bn * nb, bk * kb), CBBlock(bm, bn, bk)
+    )
+
+
+def uniform_grid(mb=3, nb=3, kb=3, s=4) -> BlockGrid:
+    return BlockGrid(
+        ComputationSpace(mb * s, nb * s, kb * s), CBBlock(s, s, s)
+    )
+
+
+class TestValidation:
+    def test_duplicate_block_rejected(self):
+        g = uniform_grid()
+        order = kfirst_schedule(g)
+        with pytest.raises(ScheduleError, match="more than once"):
+            analyze_reuse(g, order + [order[0]])
+
+    def test_missing_block_rejected(self):
+        g = uniform_grid()
+        with pytest.raises(ScheduleError, match="covers"):
+            analyze_reuse(g, kfirst_schedule(g)[:-1])
+
+
+class TestKFirstIO:
+    def test_no_partial_spills(self):
+        """K-first completes every reduction before moving on, so partial
+        C surfaces never round-trip through external memory."""
+        g = uniform_grid()
+        r = analyze_reuse(g, kfirst_schedule(g))
+        assert r.io_c_spill == 0
+        assert r.io_c_refetch == 0
+
+    def test_final_c_written_exactly_once(self):
+        g = uniform_grid(3, 4, 5, 4)
+        r = analyze_reuse(g, kfirst_schedule(g))
+        assert r.io_c_final == g.space.m * g.space.n
+
+    def test_turn_reuse_counts(self):
+        """Every m-turn reuses B, every n-turn reuses A (Section 2.2)."""
+        g = uniform_grid(3, 4, 5, 4)
+        r = analyze_reuse(g, kfirst_schedule(g))
+        # (mb*nb - nb) m-turns reuse B; (nb - 1) n-turns reuse A
+        assert r.reuse_b == g.nb * (g.mb - 1)
+        assert r.reuse_a == g.nb - 1
+        # within-run C reuses: (kb-1) per run
+        assert r.reuse_c == g.mb * g.nb * (g.kb - 1)
+
+    def test_closed_form_io(self):
+        """K-first external IO:
+        A: each A panel fetched once per n-sweep minus turn reuses;
+        B: each B panel fetched once per m-sweep minus turn reuses;
+        C: written once."""
+        g = uniform_grid(3, 4, 5, 4)
+        r = analyze_reuse(g, kfirst_schedule(g))
+        s = 4
+        m, n, k = g.space.m, g.space.n, g.space.k
+        expected_a = m * k * g.nb - (g.nb - 1) * s * s
+        expected_b = k * n * g.mb - g.nb * (g.mb - 1) * s * s
+        assert r.io_a == expected_a
+        assert r.io_b == expected_b
+
+    @settings(max_examples=50, deadline=None)
+    @given(grids)
+    def test_kfirst_never_spills(self, g):
+        r = analyze_reuse(g, kfirst_schedule(g))
+        assert r.io_c_spill == 0
+        assert r.io_c_refetch == 0
+        assert r.io_c_final == g.space.m * g.space.n
+
+
+class TestScheduleComparison:
+    @settings(max_examples=40, deadline=None)
+    @given(grids)
+    def test_kfirst_beats_or_ties_naive(self, g):
+        """The direction flips can only save IO, never cost it.
+
+        Holds for *any* grid (not only CB-shaped blocks): the naive
+        order visits blocks in the same nesting, so K-first's transitions
+        are a superset of its surface reuses.
+        """
+        k = analyze_reuse(g, kfirst_schedule(g))
+        nv = analyze_reuse(g, naive_schedule(g))
+        assert k.io_total <= nv.io_total
+
+    @settings(max_examples=40, deadline=None)
+    @given(cb_shaped_grids())
+    def test_kfirst_beats_or_ties_other_dimensions(self, g):
+        """Reduction-first is optimal among the three boustrophedon
+        orders for CB-shaped blocks: the partial-C surface is the
+        largest and the only one that costs double (Section 2.2), and
+        only K-first fully reuses it."""
+        k = analyze_reuse(g, kfirst_schedule(g))
+        m = analyze_reuse(g, mfirst_schedule(g))
+        n = analyze_reuse(g, nfirst_schedule(g))
+        assert k.io_total <= m.io_total
+        assert k.io_total <= n.io_total
+
+    def test_naive_misses_turn_reuses(self):
+        """Section 2.2: restarting each loop at index 0 forfeits
+        O(Mb*Nb + Nb) surface reuses."""
+        g = uniform_grid(4, 4, 4, 4)
+        k = analyze_reuse(g, kfirst_schedule(g))
+        nv = analyze_reuse(g, naive_schedule(g))
+        assert nv.reuse_a == 0
+        assert nv.reuse_b == 0
+        missed = (k.reuse_a + k.reuse_b) - (nv.reuse_a + nv.reuse_b)
+        assert missed == (g.nb - 1) + g.nb * (g.mb - 1)
+
+    def test_mfirst_pays_partial_spills(self):
+        g = uniform_grid(4, 4, 4, 4)
+        m = analyze_reuse(g, mfirst_schedule(g))
+        assert m.io_c_spill > 0
+        assert m.io_c_refetch > 0

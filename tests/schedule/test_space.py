@@ -1,0 +1,94 @@
+"""Tests for the computation space and block grid."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CBBlock
+from repro.schedule import BlockCoord, BlockGrid, ComputationSpace
+
+spaces = st.builds(
+    ComputationSpace,
+    st.integers(1, 500),
+    st.integers(1, 500),
+    st.integers(1, 500),
+)
+blocks = st.builds(
+    CBBlock, st.integers(1, 64), st.integers(1, 64), st.integers(1, 64)
+)
+
+
+class TestComputationSpace:
+    def test_macs_and_flops(self):
+        s = ComputationSpace(2, 3, 4)
+        assert s.macs == 24
+        assert s.flops == 48
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ComputationSpace(0, 1, 1)
+
+
+class TestBlockGridShape:
+    def test_exact_partition(self):
+        g = BlockGrid(ComputationSpace(8, 12, 4), CBBlock(4, 6, 2))
+        assert (g.mb, g.nb, g.kb) == (2, 2, 2)
+        assert g.num_blocks == 8
+
+    def test_ragged_partition(self):
+        g = BlockGrid(ComputationSpace(10, 10, 10), CBBlock(4, 4, 4))
+        assert (g.mb, g.nb, g.kb) == (3, 3, 3)
+        assert g.extent(BlockCoord(2, 2, 2)) == CBBlock(2, 2, 2)
+
+    def test_block_larger_than_space_collapses(self):
+        g = BlockGrid(ComputationSpace(3, 3, 3), CBBlock(100, 100, 100))
+        assert g.num_blocks == 1
+        assert g.extent(BlockCoord(0, 0, 0)) == CBBlock(3, 3, 3)
+
+    def test_origin(self):
+        g = BlockGrid(ComputationSpace(10, 10, 10), CBBlock(4, 4, 4))
+        assert g.origin(BlockCoord(0, 0, 0)) == (0, 0, 0)
+        assert g.origin(BlockCoord(2, 1, 0)) == (8, 4, 0)
+
+    def test_out_of_range_coord_rejected(self):
+        g = BlockGrid(ComputationSpace(8, 8, 8), CBBlock(4, 4, 4))
+        with pytest.raises(IndexError):
+            g.extent(BlockCoord(2, 0, 0))
+        with pytest.raises(IndexError):
+            g.origin(BlockCoord(0, -1, 0))
+
+
+class TestBlockGridProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(spaces, blocks)
+    def test_blocks_tile_space_exactly(self, space, block):
+        """Sum of block volumes equals the space volume (exact cover)."""
+        g = BlockGrid(space, block)
+        total = sum(g.extent(c).volume for c in g.coords())
+        assert total == space.macs
+
+    @settings(max_examples=60, deadline=None)
+    @given(spaces, blocks)
+    def test_extents_bounded_by_nominal(self, space, block):
+        g = BlockGrid(space, block)
+        for c in g.coords():
+            e = g.extent(c)
+            assert e.m <= min(block.m, space.m)
+            assert e.n <= min(block.n, space.n)
+            assert e.k <= min(block.k, space.k)
+
+    @settings(max_examples=60, deadline=None)
+    @given(spaces, blocks)
+    def test_origins_consistent_with_extents(self, space, block):
+        """Origin of the next block equals origin + extent of the previous."""
+        g = BlockGrid(space, block)
+        for mi in range(g.mb - 1):
+            o0 = g.origin(BlockCoord(mi, 0, 0))
+            e0 = g.extent(BlockCoord(mi, 0, 0))
+            o1 = g.origin(BlockCoord(mi + 1, 0, 0))
+            assert o1[0] == o0[0] + e0.m
+
+    @settings(max_examples=60, deadline=None)
+    @given(spaces, blocks)
+    def test_coords_count(self, space, block):
+        g = BlockGrid(space, block)
+        assert len(list(g.coords())) == g.num_blocks

@@ -1,0 +1,65 @@
+"""Tests for the alternative schedules (ablation baselines)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CBBlock
+from repro.schedule import (
+    BlockGrid,
+    ComputationSpace,
+    SCHEDULE_BUILDERS,
+    build_schedule,
+    mfirst_schedule,
+    naive_schedule,
+    nfirst_schedule,
+)
+from repro.schedule.reuse import validate_schedule
+
+grids = st.builds(
+    lambda m, n, k, bm, bn, bk: BlockGrid(
+        ComputationSpace(m, n, k), CBBlock(bm, bn, bk)
+    ),
+    st.integers(1, 30),
+    st.integers(1, 30),
+    st.integers(1, 30),
+    st.integers(1, 6),
+    st.integers(1, 6),
+    st.integers(1, 6),
+)
+
+
+class TestAllVariantsAreValidSchedules:
+    @settings(max_examples=40)
+    @given(grids, st.sampled_from(sorted(SCHEDULE_BUILDERS)))
+    def test_complete_coverage(self, g, name):
+        validate_schedule(g, build_schedule(name, g))
+
+    def test_unknown_name_rejected(self):
+        g = BlockGrid(ComputationSpace(4, 4, 4), CBBlock(2, 2, 2))
+        with pytest.raises(ValueError, match="unknown schedule"):
+            build_schedule("zigzag", g)
+
+
+class TestNaive:
+    def test_always_ascending(self):
+        g = BlockGrid(ComputationSpace(8, 8, 8), CBBlock(4, 4, 4))
+        order = naive_schedule(g)
+        # every K run starts at ki=0: no direction flips
+        for i in range(0, len(order), g.kb):
+            assert order[i].ki == 0
+
+
+class TestInnermostDimension:
+    def test_mfirst_sweeps_m_innermost(self):
+        g = BlockGrid(ComputationSpace(12, 8, 8), CBBlock(4, 4, 4))
+        order = mfirst_schedule(g)
+        first = order[: g.mb]
+        assert len({(c.ki, c.ni) for c in first}) == 1
+        assert sorted(c.mi for c in first) == list(range(g.mb))
+
+    def test_nfirst_sweeps_n_innermost(self):
+        g = BlockGrid(ComputationSpace(8, 12, 8), CBBlock(4, 4, 4))
+        order = nfirst_schedule(g)
+        first = order[: g.nb]
+        assert len({(c.ki, c.mi) for c in first}) == 1
+        assert sorted(c.ni for c in first) == list(range(g.nb))

@@ -1,0 +1,70 @@
+"""Tests for the top-level convenience API and package metadata."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    CakeError,
+    ConfigurationError,
+    ScheduleError,
+    SimulationError,
+    cake_matmul,
+    goto_matmul,
+)
+
+from tests.conftest import assert_product_close
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exception_hierarchy(self):
+        assert issubclass(ConfigurationError, CakeError)
+        assert issubclass(ScheduleError, CakeError)
+        assert issubclass(SimulationError, CakeError)
+
+
+class TestCakeMatmul:
+    def test_default_machine_is_intel(self, rng):
+        a = rng.standard_normal((100, 80))
+        b = rng.standard_normal((80, 120))
+        run = cake_matmul(a, b)
+        assert run.machine.name == "Intel i9-10900K"
+        assert_product_close(run.c, a, b)
+
+    def test_explicit_machine_and_cores(self, arm, rng):
+        a = rng.standard_normal((64, 48))
+        b = rng.standard_normal((48, 72))
+        run = cake_matmul(a, b, machine=arm, cores=2)
+        assert run.cores == 2
+        assert_product_close(run.c, a, b)
+
+    def test_explicit_alpha(self, intel, rng):
+        a = rng.standard_normal((64, 48))
+        b = rng.standard_normal((48, 72))
+        run = cake_matmul(a, b, machine=intel, alpha=2.0)
+        assert run.plan_summary["alpha"] == 2.0
+        assert_product_close(run.c, a, b)
+
+    def test_too_many_cores_rejected(self, arm, rng):
+        a = rng.standard_normal((16, 16))
+        with pytest.raises(ConfigurationError, match="cores"):
+            cake_matmul(a, a, machine=arm, cores=99)
+
+
+class TestGotoMatmul:
+    def test_roundtrip(self, rng):
+        a = rng.standard_normal((90, 70))
+        b = rng.standard_normal((70, 110))
+        run = goto_matmul(a, b)
+        assert run.engine == "goto"
+        assert_product_close(run.c, a, b)
+
+    def test_engines_agree_numerically(self, intel, rng):
+        a = rng.standard_normal((130, 90))
+        b = rng.standard_normal((90, 150))
+        c1 = cake_matmul(a, b, machine=intel).c
+        c2 = goto_matmul(a, b, machine=intel).c
+        np.testing.assert_allclose(c1, c2, rtol=1e-9, atol=1e-11)

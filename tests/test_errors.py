@@ -1,0 +1,30 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    CakeError,
+    ConfigurationError,
+    ScheduleError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigurationError, ScheduleError, SimulationError]
+    )
+    def test_subclasses_base(self, exc):
+        assert issubclass(exc, CakeError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_at_boundary(self):
+        """A caller catching CakeError sees every domain failure."""
+        from repro.core.shaping import alpha_from_bandwidth_ratio
+
+        with pytest.raises(CakeError):
+            alpha_from_bandwidth_ratio(0.5)
+
+    def test_distinct_types(self):
+        assert not issubclass(ScheduleError, ConfigurationError)
+        assert not issubclass(SimulationError, ScheduleError)
