@@ -1,0 +1,111 @@
+"""Parallel experiment runtime: correctness and wall-clock contrast.
+
+Runs a Figure 8-style shape sweep (every CAKE-vs-GOTO cell of one panel)
+through the experiment runtime twice — serial and process-parallel —
+and asserts the two produce byte-identical grids. Wall-clock for both
+modes lands in ``benchmarks/results/BENCH_runtime_parallel.json``; on a
+multi-core box the parallel sweep must be measurably faster (the
+assertion is skipped on single-CPU machines, where a process pool can
+only add overhead).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import relative_throughput_grid
+from repro.machines import intel_i9_10900k
+from repro.runtime import ExperimentRuntime, ExperimentTask, write_bench_json
+
+from .conftest import RESULTS_DIR
+
+#: Full Figure 8 panel axes — 64 cells, 128 engine predictions: enough
+#: work for the pool to amortise its startup on a multi-core box.
+GRID = tuple(range(1000, 8001, 1000))
+
+PARALLEL_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def _sweep_seconds(workers: int) -> tuple[float, object, ExperimentRuntime]:
+    runtime = ExperimentRuntime(workers=workers)
+    start = time.perf_counter()
+    panel = relative_throughput_grid(
+        intel_i9_10900k(),
+        aspect=1.0,
+        m_values=GRID,
+        k_values=GRID,
+        runtime=runtime,
+    )
+    return time.perf_counter() - start, panel, runtime
+
+
+def test_runtime_parallel_sweep(benchmark):
+    serial_s, serial_panel, serial_rt = _sweep_seconds(workers=1)
+    parallel_s, parallel_panel, parallel_rt = benchmark.pedantic(
+        _sweep_seconds,
+        kwargs={"workers": PARALLEL_WORKERS},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Parallel execution is an implementation detail: same grid, exactly.
+    assert np.array_equal(serial_panel.ratio, parallel_panel.ratio)
+    assert serial_rt.last_stats.tasks == parallel_rt.last_stats.tasks
+
+    speedup = serial_s / parallel_s
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_json(
+        RESULTS_DIR,
+        "runtime_parallel",
+        [
+            {
+                "mode": "serial",
+                "workers": 1,
+                "tasks": serial_rt.last_stats.tasks,
+                "wall_seconds": serial_s,
+            },
+            {
+                "mode": "parallel",
+                "workers": PARALLEL_WORKERS,
+                "tasks": parallel_rt.last_stats.tasks,
+                "wall_seconds": parallel_s,
+            },
+        ],
+        wall_seconds=serial_s + parallel_s,
+        extra={"speedup": speedup, "cpus": os.cpu_count()},
+    )
+    print(
+        f"\nserial {serial_s:.2f}s, parallel({PARALLEL_WORKERS}) "
+        f"{parallel_s:.2f}s, speedup {speedup:.2f}x"
+    )
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-CPU machine: parallel wall-clock win impossible")
+    assert parallel_s < serial_s, (
+        f"parallel sweep ({parallel_s:.2f}s) not faster than serial "
+        f"({serial_s:.2f}s) on {os.cpu_count()} CPUs"
+    )
+
+
+def test_runtime_cache_short_circuits(benchmark, tmp_path):
+    """A warm cache answers the whole grid without executing anything."""
+    tasks = [
+        ExperimentTask(
+            kind="predict", engine=engine, machine="Intel i9-10900K",
+            m=m, n=m, k=2000,
+        )
+        for m in GRID
+        for engine in ("cake", "goto")
+    ]
+    warm = ExperimentRuntime(cache_dir=tmp_path)
+    first = warm.run(tasks)
+    assert warm.last_stats.executed == len(tasks)
+
+    second = benchmark.pedantic(warm.run, args=(tasks,), rounds=1, iterations=1)
+    assert second == first
+    assert warm.last_stats.cache_hits == len(tasks)
+    assert warm.last_stats.executed == 0

@@ -37,32 +37,73 @@ def scaling_series(
     max_physical_cores: int | None = None,
     extrapolate_to: int | None = None,
     core_step: int = 1,
+    runtime=None,
 ) -> list[ScalingPoint]:
     """The full panel data for one platform's scaling figure.
 
     Within ``max_physical_cores`` the real machine is used; beyond it,
     cores come from :func:`~repro.machines.extrapolate.extrapolated_machine`
     (quadratic LLC, linearised internal bandwidth, fixed DRAM bandwidth).
+
+    With a ``runtime``, both engines' predictions at every core count run
+    as experiment tasks; tasks encode the grown machine via their
+    ``extrapolate_cores`` field (``extrapolated_machine`` restricts to
+    ``with_cores`` below the physical count, so one encoding covers both
+    the solid and dotted regions exactly).
     """
     require_positive("n", n)
     physical = (
         machine.cores if max_physical_cores is None else max_physical_cores
     )
     top = physical if extrapolate_to is None else extrapolate_to
-    points: list[ScalingPoint] = []
-    for cores in range(core_step, top + 1, core_step):
-        extrapolated = cores > physical
-        spec = (
+    core_counts = list(range(core_step, top + 1, core_step))
+    specs = {
+        cores: (
             extrapolated_machine(machine, cores)
-            if extrapolated
+            if cores > physical
             else machine.with_cores(cores)
         )
+        for cores in core_counts
+    }
+
+    if runtime is not None:
+        from repro.runtime.task import (
+            ExperimentTask,
+            machine_key,
+            prediction_from_row,
+        )
+
+        key = machine_key(machine)
+        rows = runtime.run(
+            [
+                ExperimentTask(
+                    kind="predict", engine=engine, machine=key,
+                    m=n, n=n, k=n, extrapolate_cores=cores,
+                )
+                for cores in core_counts
+                for engine in ("cake", "goto")
+            ]
+        )
+        predictions = {
+            (row["extrapolate_cores"], row["engine"]): prediction_from_row(row)
+            for row in rows
+        }
+    else:
+        predictions = {}
+        for cores in core_counts:
+            spec = specs[cores]
+            predictions[(cores, "cake")] = predict_cake(spec, n, n, n)
+            predictions[(cores, "goto")] = predict_goto(spec, n, n, n)
+
+    points: list[ScalingPoint] = []
+    for cores in core_counts:
+        spec = specs[cores]
         points.append(
             ScalingPoint(
                 cores=cores,
-                extrapolated=extrapolated,
-                cake=predict_cake(spec, n, n, n),
-                goto=predict_goto(spec, n, n, n),
+                extrapolated=cores > physical,
+                cake=predictions[(cores, "cake")],
+                goto=predictions[(cores, "goto")],
                 cake_optimal_dram_gb_per_s=cake_optimal_dram_gb_per_s(
                     spec, m=n, n=n, k=n
                 ),

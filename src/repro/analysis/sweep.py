@@ -45,16 +45,40 @@ def relative_throughput_grid(
     m_values: tuple[int, ...] = (1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000),
     k_values: tuple[int, ...] = (1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000),
     cores: int | None = None,
+    runtime=None,
 ) -> ShapeSweepResult:
     """One Figure 8 panel: ``M = aspect * N`` with M and K swept.
 
-    ``aspect`` of 1, 2, 4, 8 reproduces panels (a)-(d).
+    ``aspect`` of 1, 2, 4, 8 reproduces panels (a)-(d). With a
+    ``runtime`` (:class:`~repro.runtime.executor.ExperimentRuntime`) the
+    CAKE/GOTO pair grid is fanned out as experiment tasks — parallel,
+    memoized, and byte-identical to the inline loop.
     """
     require_positive("aspect", aspect)
+    cells = [
+        (ki, mi, m, max(int(round(m / aspect)), 1), k)
+        for ki, k in enumerate(k_values)
+        for mi, m in enumerate(m_values)
+    ]
     ratio = np.empty((len(k_values), len(m_values)))
-    for ki, k in enumerate(k_values):
-        for mi, m in enumerate(m_values):
-            n = max(int(round(m / aspect)), 1)
+    if runtime is not None:
+        from repro.runtime.task import ExperimentTask, machine_key
+
+        key = machine_key(machine)
+        tasks = [
+            ExperimentTask(
+                kind="predict", engine=engine, machine=key,
+                m=m, n=n, k=k, cores=cores,
+            )
+            for _, _, m, n, k in cells
+            for engine in ("cake", "goto")
+        ]
+        rows = runtime.run(tasks)
+        for cell_index, (ki, mi, _, _, _) in enumerate(cells):
+            cake_row, goto_row = rows[2 * cell_index], rows[2 * cell_index + 1]
+            ratio[ki, mi] = cake_row["gflops"] / goto_row["gflops"]
+    else:
+        for ki, mi, m, n, k in cells:
             cake = predict_cake(machine, m, n, k, cores=cores)
             goto = predict_goto(machine, m, n, k, cores=cores)
             ratio[ki, mi] = cake.gflops / goto.gflops

@@ -49,6 +49,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan experiment grids over this many worker processes "
+        "(default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="memoize completed experiment cells in this directory",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write machine-readable BENCH_<id>.json rows to this dir",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -57,11 +77,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:20s} {doc}")
         return 0
 
+    runtime = None
+    if args.workers is not None or args.cache_dir is not None or args.json is not None:
+        from repro.runtime import ExperimentRuntime
+
+        try:
+            runtime = ExperimentRuntime(
+                workers=args.workers, cache_dir=args.cache_dir
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+
     names = sorted(registry) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
         try:
-            report = run_experiment(name, args.scale)
+            report = run_experiment(name, args.scale, runtime=runtime)
         except ValueError as exc:
             print(exc, file=sys.stderr)
             return 2
@@ -73,6 +104,20 @@ def main(argv: list[str] | None = None) -> int:
             (args.out / f"{name}.txt").write_text(report.text())
             if args.csv:
                 (args.out / f"{name}.csv").write_text(report.csv())
+        if args.json is not None:
+            from repro.runtime import rows_from_report, write_bench_json
+
+            rows = runtime.drain_rows() if runtime is not None else []
+            stats = runtime.last_stats if runtime is not None and rows else None
+            path = write_bench_json(
+                args.json,
+                name,
+                rows or rows_from_report(report),
+                wall_seconds=elapsed,
+                scale=args.scale,
+                runtime_stats=stats,
+            )
+            print(f"[{name} rows -> {path}]\n")
     return 0
 
 

@@ -29,7 +29,7 @@ from repro.memsim.profile import profile_cake, profile_goto
 from repro.util.units import bytes_to_gib, bytes_to_mib
 
 
-def table2_machines(scale: str = "full") -> ExperimentReport:
+def table2_machines(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Table 2: the CPUs used in the evaluation."""
     rep = ExperimentReport("table2", "CPUs used in CAKE evaluation")
     rows = []
@@ -52,7 +52,7 @@ def table2_machines(scale: str = "full") -> ExperimentReport:
     return rep
 
 
-def fig4_cb_scaling(scale: str = "full") -> ExperimentReport:
+def fig4_cb_scaling(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Figure 4: growing CB blocks keep external bandwidth constant.
 
     Blocks (a)-(c) of the figure: core count grows 1x, 2x, px; volume and
@@ -85,7 +85,7 @@ def fig4_cb_scaling(scale: str = "full") -> ExperimentReport:
     return rep
 
 
-def fig7a_intel_stalls(scale: str = "full") -> ExperimentReport:
+def fig7a_intel_stalls(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Figure 7a: memory-request stalls per level, CAKE vs MKL (Intel).
 
     The paper uses 10000x10000; any size whose C surface exceeds the
@@ -115,7 +115,7 @@ def fig7a_intel_stalls(scale: str = "full") -> ExperimentReport:
     return rep
 
 
-def fig7b_arm_accesses(scale: str = "full") -> ExperimentReport:
+def fig7b_arm_accesses(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Figure 7b: cache hits and DRAM accesses, CAKE vs ARMPL (ARM).
 
     Paper size is 3000x3000; the full scale uses 1920 (same mechanism,
@@ -145,7 +145,7 @@ def fig7b_arm_accesses(scale: str = "full") -> ExperimentReport:
     return rep
 
 
-def fig8_shape_contours(scale: str = "full") -> ExperimentReport:
+def fig8_shape_contours(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Figure 8: relative throughput CAKE/MKL over matrix shapes (Intel)."""
     machine = intel_i9_10900k()
     if scale == "full":
@@ -158,7 +158,8 @@ def fig8_shape_contours(scale: str = "full") -> ExperimentReport:
     panels = {}
     for aspect in (1.0, 2.0, 4.0, 8.0):
         panel = relative_throughput_grid(
-            machine, aspect=aspect, m_values=values, k_values=values
+            machine, aspect=aspect, m_values=values, k_values=values,
+            runtime=runtime,
         )
         panels[aspect] = panel
         rep.add_line(f"-- panel M = {aspect:.0f}N --")
@@ -177,11 +178,11 @@ def fig8_shape_contours(scale: str = "full") -> ExperimentReport:
     return rep
 
 
-def _speedup_report(machine, sizes, rep: ExperimentReport, goto_label: str):
+def _speedup_report(machine, sizes, rep: ExperimentReport, goto_label: str, runtime=None):
     series = {}
     for n in sizes:
-        cake = speedup_series(machine, n, engine="cake")
-        goto = speedup_series(machine, n, engine="goto")
+        cake = speedup_series(machine, n, engine="cake", runtime=runtime)
+        goto = speedup_series(machine, n, engine="goto", runtime=runtime)
         series[n] = (cake, goto)
         headers = ["cores"] + [str(p) for p in cake.cores]
         rep.add_line(f"-- M = N = K = {n} --")
@@ -197,18 +198,18 @@ def _speedup_report(machine, sizes, rep: ExperimentReport, goto_label: str):
     return rep
 
 
-def fig9a_intel_speedup(scale: str = "full") -> ExperimentReport:
+def fig9a_intel_speedup(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Figure 9a: speedup for square matrices, CAKE vs MKL (Intel)."""
     rep = ExperimentReport("fig9a", "Speedup for square matrices, Intel i9")
     sizes = (1000, 2000, 3000) if scale == "full" else (1000, 2000)
-    return _speedup_report(intel_i9_10900k(), sizes, rep, "MKL(GOTO)")
+    return _speedup_report(intel_i9_10900k(), sizes, rep, "MKL(GOTO)", runtime)
 
 
-def fig9b_arm_speedup(scale: str = "full") -> ExperimentReport:
+def fig9b_arm_speedup(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Figure 9b: speedup for square matrices, CAKE vs ARMPL (ARM)."""
     rep = ExperimentReport("fig9b", "Speedup for square matrices, ARM A53")
     sizes = (1000, 2000, 3000) if scale == "full" else (1000, 2000)
-    return _speedup_report(arm_cortex_a53(), sizes, rep, "ARMPL(GOTO)")
+    return _speedup_report(arm_cortex_a53(), sizes, rep, "ARMPL(GOTO)", runtime)
 
 
 def _scaling_report(
@@ -219,9 +220,11 @@ def _scaling_report(
     extrapolate_to: int,
     core_step: int,
     goto_label: str,
+    runtime=None,
 ) -> ExperimentReport:
     points = scaling_series(
-        machine, n, extrapolate_to=extrapolate_to, core_step=core_step
+        machine, n, extrapolate_to=extrapolate_to, core_step=core_step,
+        runtime=runtime,
     )
     rows = []
     for pt in points:
@@ -250,7 +253,7 @@ def _scaling_report(
     return rep
 
 
-def fig10_intel_scaling(scale: str = "full") -> ExperimentReport:
+def fig10_intel_scaling(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Figure 10: Intel i9, 23040^2 MM — DRAM BW, throughput, internal BW."""
     n = 23040 if scale == "full" else 5760
     rep = ExperimentReport(
@@ -258,11 +261,11 @@ def fig10_intel_scaling(scale: str = "full") -> ExperimentReport:
     )
     return _scaling_report(
         rep, intel_i9_10900k(), n, extrapolate_to=20, core_step=1,
-        goto_label="MKL",
+        goto_label="MKL", runtime=runtime,
     )
 
 
-def fig11_arm_scaling(scale: str = "full") -> ExperimentReport:
+def fig11_arm_scaling(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Figure 11: ARM A53, 3000^2 MM — DRAM BW, throughput, internal BW."""
     n = 3000 if scale == "full" else 1000
     rep = ExperimentReport(
@@ -270,11 +273,11 @@ def fig11_arm_scaling(scale: str = "full") -> ExperimentReport:
     )
     return _scaling_report(
         rep, arm_cortex_a53(), n, extrapolate_to=8, core_step=1,
-        goto_label="ARMPL",
+        goto_label="ARMPL", runtime=runtime,
     )
 
 
-def fig12_amd_scaling(scale: str = "full") -> ExperimentReport:
+def fig12_amd_scaling(scale: str = "full", *, runtime=None) -> ExperimentReport:
     """Figure 12: AMD 5950X, 23040^2 MM — CAKE vs OpenBLAS(GOTO)."""
     n = 23040 if scale == "full" else 5760
     rep = ExperimentReport(
@@ -282,11 +285,11 @@ def fig12_amd_scaling(scale: str = "full") -> ExperimentReport:
     )
     return _scaling_report(
         rep, amd_ryzen_9_5950x(), n, extrapolate_to=32, core_step=2,
-        goto_label="OpenBLAS",
+        goto_label="OpenBLAS", runtime=runtime,
     )
 
 
-EXPERIMENTS: dict[str, Callable[[str], ExperimentReport]] = {
+EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "table2": table2_machines,
     "fig4": fig4_cb_scaling,
     "fig7a": fig7a_intel_stalls,
@@ -300,8 +303,17 @@ EXPERIMENTS: dict[str, Callable[[str], ExperimentReport]] = {
 }
 
 
-def run_experiment(name: str, scale: str = "full") -> ExperimentReport:
-    """Run one experiment by id (including the ablations)."""
+def run_experiment(
+    name: str, scale: str = "full", *, runtime=None
+) -> ExperimentReport:
+    """Run one experiment by id (including the ablations).
+
+    A ``runtime`` (:class:`~repro.runtime.executor.ExperimentRuntime`)
+    is forwarded to generators that support grid fan-out; experiments
+    that are single cells (or predate the runtime) simply ignore it.
+    """
+    import inspect
+
     from repro.bench.ablations import ABLATIONS
 
     registry = {**EXPERIMENTS, **ABLATIONS}
@@ -311,4 +323,6 @@ def run_experiment(name: str, scale: str = "full") -> ExperimentReport:
         raise ValueError(
             f"unknown experiment {name!r}; available: {sorted(registry)}"
         ) from None
+    if runtime is not None and "runtime" in inspect.signature(fn).parameters:
+        return fn(scale, runtime=runtime)
     return fn(scale)

@@ -34,6 +34,7 @@ from repro.machines.spec import MachineSpec
 from repro.packing.cost import packing_cost
 from repro.packing.pack import pack_a_cake, pack_b_cake
 from repro.perfmodel.roofline import ZERO_TIME, block_time
+from repro.schedule.reuse import SurfaceResidency
 from repro.schedule.space import ComputationSpace
 from repro.util import ceil_div, split_length
 
@@ -143,21 +144,48 @@ class CakeGemm:
         total = ZERO_TIME
         bound_blocks: dict[str, int] = {"compute": 0, "external": 0, "internal": 0}
         progress: dict[tuple[int, int], int] = {}
-        prev = None
+
+        def on_evict(key, elements: int) -> None:
+            if key[0] == "C":  # partial results forced out: spill + refetch
+                counters.ext_c_spill += elements
+
+        residency = SurfaceResidency(
+            plan.residency_elements, on_evict=on_evict
+        )
 
         for coord in order:
             ext = grid.extent(coord)
             m0, n0, k0 = grid.origin(coord)
 
-            a_el = 0 if _same_a(prev, coord) else ext.surface_a
-            b_el = 0 if _same_b(prev, coord) else ext.surface_b
+            a_key = ("A", coord.mi, coord.ki)
+            b_key = ("B", coord.ki, coord.ni)
+            c_res_key = ("C", coord.mi, coord.ni)
+            pinned = (a_key, b_key, c_res_key)
+
+            a_el = (
+                0
+                if residency.touch(a_key, ext.surface_a, pinned=pinned)
+                else ext.surface_a
+            )
+            b_el = (
+                0
+                if residency.touch(b_key, ext.surface_b, pinned=pinned)
+                else ext.surface_b
+            )
             counters.ext_a_read += a_el
             counters.ext_b_read += b_el
 
             c_key = (coord.mi, coord.ni)
+            c_resident = residency.touch(
+                c_res_key, ext.surface_c, pinned=pinned
+            )
+            if not c_resident and progress.get(c_key, 0):
+                counters.ext_c_read += ext.surface_c
             progress[c_key] = progress.get(c_key, 0) + 1
             c_write_el = ext.surface_c if progress[c_key] == grid.kb else 0
             counters.ext_c_write += c_write_el
+            if c_write_el:
+                residency.invalidate(c_res_key)
 
             strips = _core_strips(ext.m, plan.cores)
             active = len(strips)
@@ -193,8 +221,6 @@ class CakeGemm:
                     )
                     r0 += rows
 
-            prev = coord
-
         if counters.ext_c_spill or counters.ext_c_read:  # pragma: no cover
             raise ConfigurationError(
                 "CAKE's K-first schedule must never spill partial results"
@@ -219,11 +245,3 @@ class CakeGemm:
             },
             c=c,
         )
-
-
-def _same_a(prev, coord) -> bool:
-    return prev is not None and (prev.mi, prev.ki) == (coord.mi, coord.ki)
-
-
-def _same_b(prev, coord) -> bool:
-    return prev is not None and (prev.ki, prev.ni) == (coord.ki, coord.ni)

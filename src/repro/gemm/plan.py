@@ -177,6 +177,22 @@ class CakePlan:
         return CBBlock(m=self.m_block, n=self.n_block, k=self.kc)
 
     @property
+    def residency_elements(self) -> int:
+        """Local-memory element budget the Section 4.3 rule guarantees.
+
+        ``C + 2(A + B)`` of the *cache-sized* nominal block
+        (``p*mc x alpha*p*mc x kc``) — the LRU sizing rule solved ``mc``
+        so exactly this much fits the LLC. When the problem's balanced
+        blocks are smaller than nominal, the slack retains surfaces of
+        earlier blocks; the engine's counters model that retention via
+        :class:`repro.schedule.reuse.SurfaceResidency`.
+        """
+        mm = self.cores * self.mc
+        nn = max(int(self.alpha * self.cores * self.mc), self.machine.nr)
+        kk = self.kc
+        return mm * nn + 2 * (mm * kk + kk * nn)
+
+    @property
     def kernel(self) -> MicroKernel:
         """The register-tile micro-kernel this plan drives."""
         return MicroKernel(mr=self.machine.mr, nr=self.machine.nr, kc=self.kc)

@@ -27,6 +27,15 @@ from repro.memsim.lru import LRUCache, SetAssociativeCache
 from repro.memsim.hierarchy import LevelStats, MemoryHierarchy
 from repro.memsim.profile import MemoryProfile, profile_cake, profile_goto
 from repro.memsim.trace import Access, TraceRecorder, replay
+from repro.memsim.linear import (
+    LineHierarchy,
+    LineProfile,
+    cake_line_ops,
+    goto_line_ops,
+    line_profile_cake,
+    line_profile_goto,
+)
+from repro.memsim.vectorized import VectorizedLineHierarchy, expand_ranges
 
 __all__ = [
     "LRUCache",
@@ -39,4 +48,12 @@ __all__ = [
     "Access",
     "TraceRecorder",
     "replay",
+    "LineHierarchy",
+    "LineProfile",
+    "cake_line_ops",
+    "goto_line_ops",
+    "line_profile_cake",
+    "line_profile_goto",
+    "VectorizedLineHierarchy",
+    "expand_ranges",
 ]

@@ -15,6 +15,7 @@ results (where traffic lands, who hits DRAM more).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.errors import ConfigurationError
 from repro.gemm.cake import _core_strips
@@ -23,6 +24,13 @@ from repro.machines.spec import MachineSpec
 from repro.memsim.lru import SetAssociativeCache
 from repro.schedule.space import ComputationSpace
 from repro.util import ceil_div, require_positive, split_length
+
+#: One byte-range request: ``(core, base_address, nbytes, write)``.
+#: The schedule walkers below emit streams of these; both the scalar
+#: :class:`LineHierarchy` and the vectorized replay engine
+#: (:mod:`repro.memsim.vectorized`) consume the *same* stream, which is
+#: what makes their bit-for-bit equivalence testable.
+RangeOp = tuple[int, int, int, bool]
 
 
 class AddressSpace:
@@ -151,10 +159,10 @@ class LineProfile:
     dram_fraction: float
 
 
-def line_profile_cake(
+def cake_line_ops(
     machine: MachineSpec, m: int, n: int, k: int, *, cores: int | None = None
-) -> LineProfile:
-    """Line-level replay of the CAKE schedule on packed buffers.
+) -> Iterator[RangeOp]:
+    """The CAKE schedule as a byte-range request stream.
 
     Packed layout: per-block A sub-matrices and B micropanels are
     tile-contiguous (a ``kc x nr`` B tile is one contiguous run), and the
@@ -173,8 +181,6 @@ def line_profile_cake(
     b_base = mem.alloc("B", grid.kb * grid.nb * grid.nominal.k * grid.nominal.n * eb)
     c_base = mem.alloc("C", grid.mb * grid.nb * grid.nominal.m * grid.nominal.n * eb)
 
-    hier = LineHierarchy(machine, plan.cores)
-
     for coord in plan.schedule():
         ext = grid.extent(coord)
         strips = _core_strips(ext.m, plan.cores)
@@ -183,7 +189,7 @@ def line_profile_cake(
         a_block_base = a_base + _packed_offset_a(grid, coord, eb)
         off = 0
         for core, rows in enumerate(strips):
-            hier.access_range(core, a_block_base + off, rows * ext.k * eb)
+            yield (core, a_block_base + off, rows * ext.k * eb, False)
             off += rows * ext.k * eb
         # B micropanels: tile-contiguous within the packed panel.
         b_panel_base = b_base + _packed_offset_b(grid, coord, eb)
@@ -192,7 +198,7 @@ def line_profile_cake(
             tile_bytes = ext.k * tile_n * eb
             tile_base = b_panel_base + j * ext.k * nr * eb
             for core, rows in enumerate(strips):
-                hier.access_range(core, tile_base, tile_bytes)
+                yield (core, tile_base, tile_bytes, False)
                 # C micropanel for this (core, j).
                 c_tile_base = (
                     c_base
@@ -200,21 +206,14 @@ def line_profile_cake(
                     + (core * n_tiles + j) * max(strips) * nr * eb
                 )
                 c_bytes = rows * tile_n * eb
-                hier.access_range(core, c_tile_base, c_bytes)
-                hier.access_range(core, c_tile_base, c_bytes, write=True)
-
-    return LineProfile(
-        engine="cake",
-        serves=dict(hier.serves),
-        dram_bytes=hier.dram_bytes,
-        dram_fraction=hier.dram_fraction,
-    )
+                yield (core, c_tile_base, c_bytes, False)
+                yield (core, c_tile_base, c_bytes, True)
 
 
-def line_profile_goto(
+def goto_line_ops(
     machine: MachineSpec, m: int, n: int, k: int, *, cores: int | None = None
-) -> LineProfile:
-    """Line-level replay of the GOTO loop nest on packed buffers."""
+) -> Iterator[RangeOp]:
+    """The GOTO loop nest as a byte-range request stream."""
     space = ComputationSpace(m, n, k)
     plan = GotoPlan.from_problem(machine, space, cores=cores)
     eb = machine.element_bytes
@@ -224,8 +223,6 @@ def line_profile_goto(
     a_base = mem.alloc("A", m * k * eb)
     b_base = mem.alloc("B", k * n * eb)
     c_base = mem.alloc("C", m * n * eb)
-
-    hier = LineHierarchy(machine, plan.cores)
 
     m_strips = split_length(space.m, min(plan.mc, space.m))
     n_sizes = split_length(space.n, min(plan.nc, space.n))
@@ -245,14 +242,14 @@ def line_profile_goto(
                     a_block = a_base + (
                         m_offsets[strip] * space.k + k_offsets[ki] * rows
                     ) * eb
-                    hier.access_range(lane, a_block, rows * kc_actual * eb)
+                    yield (lane, a_block, rows * kc_actual * eb, False)
                 for j in range(n_tiles):
                     tile_n = min(nr, nc_actual - j * nr)
                     tile_base = b_panel_base + j * kc_actual * nr * eb
                     tile_bytes = kc_actual * tile_n * eb
                     for lane, rows in enumerate(wave):
                         strip = wave_start + lane
-                        hier.access_range(lane, tile_base, tile_bytes)
+                        yield (lane, tile_base, tile_bytes, False)
                         # C lives in the user's row-major buffer: the
                         # micro-tile is `rows` separate nr-wide runs at
                         # the matrix's row stride (this strided pattern,
@@ -263,19 +260,88 @@ def line_profile_goto(
                             + n_offsets[ni]
                             + j * nr
                         ) * eb
-                        hier.access_strided(
-                            lane, c_tile, rows, tile_n * eb, space.n * eb
-                        )
-                        hier.access_strided(
-                            lane, c_tile, rows, tile_n * eb, space.n * eb,
-                            write=True,
-                        )
+                        row_bytes = tile_n * eb
+                        stride = space.n * eb
+                        for r in range(rows):
+                            yield (lane, c_tile + r * stride, row_bytes, False)
+                        for r in range(rows):
+                            yield (lane, c_tile + r * stride, row_bytes, True)
 
+
+def _replay_ops(
+    machine: MachineSpec,
+    cores: int,
+    ops: Iterable[RangeOp],
+    *,
+    vectorized: bool,
+) -> tuple[dict[str, int], int, float]:
+    """Run an op stream through the scalar or vectorized hierarchy."""
+    if vectorized:
+        from repro.memsim.vectorized import VectorizedLineHierarchy
+
+        vhier = VectorizedLineHierarchy(machine, cores)
+        vhier.replay(ops)
+        return dict(vhier.serves), vhier.dram_bytes, vhier.dram_fraction
+    hier = LineHierarchy(machine, cores)
+    for core, base, nbytes, write in ops:
+        hier.access_range(core, base, nbytes, write=write)
+    return dict(hier.serves), hier.dram_bytes, hier.dram_fraction
+
+
+def line_profile_cake(
+    machine: MachineSpec,
+    m: int,
+    n: int,
+    k: int,
+    *,
+    cores: int | None = None,
+    vectorized: bool = True,
+) -> LineProfile:
+    """Line-level replay of the CAKE schedule on packed buffers.
+
+    ``vectorized=True`` (default) runs the batch replay engine of
+    :mod:`repro.memsim.vectorized`; ``False`` runs the scalar
+    line-by-line hierarchy. Both produce identical profiles (asserted
+    bit-for-bit in tests) — the scalar path is the ground truth, the
+    vectorized path is what the figure benches can afford.
+    """
+    plan = CakePlan.from_problem(machine, ComputationSpace(m, n, k), cores=cores)
+    serves, dram_bytes, dram_fraction = _replay_ops(
+        machine,
+        plan.cores,
+        cake_line_ops(machine, m, n, k, cores=cores),
+        vectorized=vectorized,
+    )
+    return LineProfile(
+        engine="cake",
+        serves=serves,
+        dram_bytes=dram_bytes,
+        dram_fraction=dram_fraction,
+    )
+
+
+def line_profile_goto(
+    machine: MachineSpec,
+    m: int,
+    n: int,
+    k: int,
+    *,
+    cores: int | None = None,
+    vectorized: bool = True,
+) -> LineProfile:
+    """Line-level replay of the GOTO loop nest on packed buffers."""
+    plan = GotoPlan.from_problem(machine, ComputationSpace(m, n, k), cores=cores)
+    serves, dram_bytes, dram_fraction = _replay_ops(
+        machine,
+        plan.cores,
+        goto_line_ops(machine, m, n, k, cores=cores),
+        vectorized=vectorized,
+    )
     return LineProfile(
         engine="goto",
-        serves=dict(hier.serves),
-        dram_bytes=hier.dram_bytes,
-        dram_fraction=hier.dram_fraction,
+        serves=serves,
+        dram_bytes=dram_bytes,
+        dram_fraction=dram_fraction,
     )
 
 

@@ -1,0 +1,50 @@
+"""Parallel experiment runtime: grids of figure cells over processes.
+
+The figure sweeps of the paper — shape contours (Fig. 8), core-count
+speedups (Fig. 9), scaling series (Figs. 10-12), trace profiles
+(Fig. 7) — are all grids of independent, deterministic cells. This
+package turns each cell into an :class:`~repro.runtime.task.ExperimentTask`
+(content-hashed identity, derived seed), fans grids over a process pool
+with deterministic sharding (:class:`~repro.runtime.executor.ExperimentRuntime`),
+memoizes completed cells on disk (:class:`~repro.runtime.cache.ResultCache`),
+and emits machine-readable ``BENCH_*.json`` rows
+(:mod:`repro.runtime.jsonout`).
+
+Guarantees the tests pin:
+
+* rows come back in input order, byte-identical for any worker count;
+* a warm cache answers a repeated grid without executing anything;
+* task ids are stable content hashes — same cell, same id, any process.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.executor import ExperimentRuntime, RuntimeStats
+from repro.runtime.jsonout import (
+    BENCH_SCHEMA,
+    bench_payload,
+    rows_from_report,
+    write_bench_json,
+)
+from repro.runtime.task import (
+    MACHINE_FACTORIES,
+    ExperimentTask,
+    machine_key,
+    prediction_from_row,
+    run_task,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "ExperimentRuntime",
+    "RuntimeStats",
+    "BENCH_SCHEMA",
+    "bench_payload",
+    "rows_from_report",
+    "write_bench_json",
+    "MACHINE_FACTORIES",
+    "ExperimentTask",
+    "machine_key",
+    "prediction_from_row",
+    "run_task",
+]

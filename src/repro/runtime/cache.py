@@ -1,0 +1,87 @@
+"""On-disk memoization of completed experiment tasks.
+
+One JSON file per task id. The id is a content hash over every
+result-determining task field (machine, engine, shape, cores, plan
+parameters — see :class:`~repro.runtime.task.ExperimentTask.task_id`),
+so a cache hit is definitionally the same experiment. Writes are atomic
+(temp file + ``os.replace``) so a crashed or killed run never leaves a
+truncated row for a later run to trip over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+
+class ResultCache:
+    """Directory-backed map from task id to result row."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, task_id: str) -> Path:
+        return self.root / f"{task_id}.json"
+
+    def load(self, task_id: str) -> dict[str, Any] | None:
+        """The cached row for ``task_id``, or None.
+
+        A corrupt file (interrupted legacy write, stray garbage) counts
+        as a miss and is removed so the fresh result can replace it.
+        """
+        path = self._path(task_id)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                row = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return row
+
+    def store(self, task_id: str, row: dict[str, Any]) -> None:
+        """Persist ``row`` atomically under ``task_id``."""
+        payload = json.dumps(row, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=f".{task_id}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._path(task_id))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> None:
+        """Remove every cached row."""
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)

@@ -1,0 +1,106 @@
+"""Machine-readable benchmark output: ``BENCH_<experiment>.json``.
+
+Every bench/CLI invocation can persist, alongside the human-readable
+report text, a JSON document with the experiment's result rows
+(GFLOP/s, DRAM GB/s, trace serves, ...) plus the wall-clock and runtime
+accounting of the run that produced them. Schema::
+
+    {
+      "schema": "cake-bench/v1",
+      "experiment": "fig8",
+      "scale": "quick",
+      "wall_seconds": 1.93,
+      "runtime": {"tasks": 128, "cache_hits": 0, "executed": 128,
+                  "workers": 4, "shards": 4, "wall_seconds": 1.88},
+      "rows": [ {<one dict per result row>}, ... ]
+    }
+
+``rows`` come from the experiment runtime when one was used (one row
+per :class:`~repro.runtime.task.ExperimentTask`); experiments that never
+touch the runtime fall back to their report tables flattened into
+header-keyed dicts, so *every* experiment has a machine-readable form.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+BENCH_SCHEMA = "cake-bench/v1"
+
+
+def rows_from_report(report: Any) -> list[dict[str, Any]]:
+    """Flatten an ExperimentReport's tables into header-keyed row dicts."""
+    rows: list[dict[str, Any]] = []
+    for table_index, (headers, table_rows) in enumerate(report.tables):
+        for row in table_rows:
+            entry: dict[str, Any] = {"table": table_index}
+            entry.update(zip(headers, row))
+            rows.append(entry)
+    return rows
+
+
+def bench_payload(
+    experiment_id: str,
+    rows: list[dict[str, Any]],
+    *,
+    wall_seconds: float,
+    scale: str | None = None,
+    runtime_stats: Any = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the ``cake-bench/v1`` document."""
+    payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "experiment": experiment_id,
+        "scale": scale,
+        "wall_seconds": wall_seconds,
+        "runtime": asdict(runtime_stats) if runtime_stats is not None else None,
+        "rows": rows,
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_bench_json(
+    directory: Path | str,
+    experiment_id: str,
+    rows: list[dict[str, Any]],
+    *,
+    wall_seconds: float,
+    scale: str | None = None,
+    runtime_stats: Any = None,
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Write ``BENCH_<experiment_id>.json`` atomically; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = bench_payload(
+        experiment_id,
+        rows,
+        wall_seconds=wall_seconds,
+        scale=scale,
+        runtime_stats=runtime_stats,
+        extra=extra,
+    )
+    target = directory / f"BENCH_{experiment_id}.json"
+    text = json.dumps(payload, indent=1, sort_keys=True, default=str)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=f".{experiment_id}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
+    return target

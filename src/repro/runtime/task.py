@@ -1,0 +1,221 @@
+"""Experiment tasks: one deterministic unit of figure work.
+
+An :class:`ExperimentTask` names everything that determines its result —
+machine preset, engine, problem shape, core count, plan parameters — and
+nothing else. Its ``task_id`` is a content hash of exactly those fields,
+which makes it simultaneously the on-disk cache key
+(:mod:`repro.runtime.cache`) and the derivation root for the task's
+``seed``. Two tasks with the same id are the same experiment; the runtime
+exploits that for memoization and for byte-identical parallel execution.
+
+Tasks must stay picklable and cheap to ship: workers receive the task,
+resolve the machine preset locally, and run the analytic engines there.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.machines.extrapolate import extrapolated_machine
+from repro.machines.presets import (
+    amd_ryzen_9_5950x,
+    arm_cortex_a53,
+    intel_i9_10900k,
+)
+from repro.machines.spec import MachineSpec
+
+#: Machine presets a task may name. Keys are the specs' own ``name``
+#: fields, so ``machine_key(spec)`` round-trips through task encoding.
+MACHINE_FACTORIES: dict[str, Callable[[], MachineSpec]] = {
+    intel_i9_10900k().name: intel_i9_10900k,
+    amd_ryzen_9_5950x().name: amd_ryzen_9_5950x,
+    arm_cortex_a53().name: arm_cortex_a53,
+}
+
+#: Task kinds the runtime knows how to execute.
+TASK_KINDS = ("predict", "line_profile", "mem_profile")
+
+
+def machine_key(machine: MachineSpec) -> str:
+    """The preset key for ``machine``, or raise if it is not a preset.
+
+    The runtime ships tasks by *name*, not by spec object, so only
+    registry machines can be farmed out. Callers holding a modified spec
+    should fall back to the direct (non-runtime) code path.
+    """
+    if machine.name not in MACHINE_FACTORIES:
+        raise ConfigurationError(
+            f"machine {machine.name!r} is not a runtime preset; "
+            f"known: {sorted(MACHINE_FACTORIES)}"
+        )
+    return machine.name
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentTask:
+    """One memoizable experiment cell.
+
+    Attributes
+    ----------
+    kind:
+        ``"predict"`` (analytic engine walk), ``"line_profile"``
+        (line-granularity trace replay), or ``"mem_profile"``
+        (object-granularity Figure 7 trace).
+    engine:
+        ``"cake"`` or ``"goto"``.
+    machine:
+        A key of :data:`MACHINE_FACTORIES`.
+    m, n, k:
+        Problem shape.
+    cores:
+        Cores to use (``None``: all of the machine's).
+    alpha:
+        CAKE aspect-factor override (plan parameter; ``None`` derives it).
+    extrapolate_cores:
+        When set, the machine is grown to this many cores with
+        :func:`~repro.machines.extrapolate.extrapolated_machine` before
+        running (the dotted-line points of Figures 10-12).
+    """
+
+    kind: str
+    engine: str
+    machine: str
+    m: int
+    n: int
+    k: int
+    cores: int | None = None
+    alpha: float | None = None
+    extrapolate_cores: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ConfigurationError(
+                f"unknown task kind {self.kind!r}; expected one of {TASK_KINDS}"
+            )
+        if self.engine not in ("cake", "goto"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected 'cake' or 'goto'"
+            )
+        if self.machine not in MACHINE_FACTORIES:
+            raise ConfigurationError(
+                f"unknown machine {self.machine!r}; "
+                f"known: {sorted(MACHINE_FACTORIES)}"
+            )
+
+    @property
+    def task_id(self) -> str:
+        """Content hash over every result-determining field."""
+        payload = json.dumps(
+            asdict(self), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-task seed, derived from the task id.
+
+        The analytic engines are deterministic and never consume it, but
+        every task carries one so stochastic task kinds (sampled traces,
+        jittered sweeps) inherit reproducibility by construction; it is
+        recorded in the result row either way.
+        """
+        return int(self.task_id[:12], 16)
+
+    def resolve_machine(self) -> MachineSpec:
+        """Build the concrete spec this task runs on."""
+        base = MACHINE_FACTORIES[self.machine]()
+        if self.extrapolate_cores is not None:
+            return extrapolated_machine(base, self.extrapolate_cores)
+        return base
+
+
+def run_task(task: ExperimentTask) -> dict[str, Any]:
+    """Execute one task, returning a JSON-serializable result row.
+
+    Rows are pure functions of the task (no wall-clock, no randomness),
+    which is what makes parallel execution byte-identical to serial and
+    cached rows indistinguishable from fresh ones.
+    """
+    spec = task.resolve_machine()
+    row: dict[str, Any] = {
+        "task_id": task.task_id,
+        "seed": task.seed,
+        "kind": task.kind,
+        "engine": task.engine,
+        "machine": task.machine,
+        "m": task.m,
+        "n": task.n,
+        "k": task.k,
+        "cores": task.cores,
+        "alpha": task.alpha,
+        "extrapolate_cores": task.extrapolate_cores,
+    }
+    if task.kind == "predict":
+        from repro.perfmodel.predict import predict_cake, predict_goto
+
+        if task.engine == "cake":
+            pred = predict_cake(
+                spec, task.m, task.n, task.k,
+                cores=task.cores, alpha=task.alpha,
+            )
+        else:
+            pred = predict_goto(
+                spec, task.m, task.n, task.k, cores=task.cores
+            )
+        row.update(
+            machine_name=pred.machine_name,
+            active_cores=pred.cores,
+            gflops=pred.gflops,
+            seconds=pred.seconds,
+            dram_gb_per_s=pred.dram_gb_per_s,
+            bound_blocks=dict(pred.bound_blocks),
+            plan_summary=dict(pred.plan_summary),
+        )
+    elif task.kind == "line_profile":
+        from repro.memsim.linear import line_profile_cake, line_profile_goto
+
+        fn = line_profile_cake if task.engine == "cake" else line_profile_goto
+        prof = fn(spec, task.m, task.n, task.k, cores=task.cores)
+        row.update(
+            serves=dict(prof.serves),
+            dram_bytes=prof.dram_bytes,
+            dram_fraction=prof.dram_fraction,
+        )
+    else:  # mem_profile
+        from repro.memsim.profile import profile_cake, profile_goto
+
+        fn = profile_cake if task.engine == "cake" else profile_goto
+        prof = fn(spec, task.m, task.n, task.k, cores=task.cores)
+        row.update(
+            stall_profile=dict(prof.stall_profile),
+            l1_hits=prof.l1_hits,
+            l2_hits=prof.l2_hits,
+            dram_accesses=prof.dram_accesses,
+            dram_bytes=prof.dram_bytes,
+            local_stall_fraction=prof.local_stall_fraction,
+        )
+    return row
+
+
+def prediction_from_row(row: dict[str, Any]):
+    """Rebuild a :class:`~repro.perfmodel.predict.PerfPrediction` from a
+    ``"predict"`` result row (the inverse of :func:`run_task`'s packing)."""
+    from repro.perfmodel.predict import PerfPrediction
+
+    return PerfPrediction(
+        engine=row["engine"],
+        machine_name=row["machine_name"],
+        cores=row["active_cores"],
+        m=row["m"],
+        n=row["n"],
+        k=row["k"],
+        gflops=row["gflops"],
+        seconds=row["seconds"],
+        dram_gb_per_s=row["dram_gb_per_s"],
+        bound_blocks=dict(row["bound_blocks"]),
+        plan_summary=dict(row["plan_summary"]),
+    )

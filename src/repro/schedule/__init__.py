@@ -19,7 +19,12 @@ from repro.schedule.variants import (
     nfirst_schedule,
     naive_schedule,
 )
-from repro.schedule.reuse import ReuseReport, analyze_reuse, validate_schedule
+from repro.schedule.reuse import (
+    ReuseReport,
+    SurfaceResidency,
+    analyze_reuse,
+    validate_schedule,
+)
 
 __all__ = [
     "BlockCoord",
@@ -32,6 +37,7 @@ __all__ = [
     "nfirst_schedule",
     "naive_schedule",
     "ReuseReport",
+    "SurfaceResidency",
     "analyze_reuse",
     "validate_schedule",
 ]

@@ -1,12 +1,28 @@
 """Exact external-IO accounting for a block schedule (Section 2.2).
 
-Model: local memory holds the three surfaces of the block being computed.
-Between consecutive blocks a surface stays resident iff the next block uses
-the *same* surface (same grid coordinates along its two dimensions).
-Partial C surfaces are special: abandoning one before its reduction
-completes costs a write-back now *and* a re-fetch when the schedule returns
-to it — "the IO for a partial result is twice that of a completed result"
-(Section 2.2).
+Two residency models are supported:
+
+* **Adjacency** (default, ``capacity_elements=None``): local memory holds
+  the three surfaces of the block being computed. Between consecutive
+  blocks a surface stays resident iff the next block uses the *same*
+  surface (same grid coordinates along its two dimensions). This is the
+  Section 2.2 model the schedule ablations are framed in — it isolates
+  exactly the turn reuses the boustrophedon buys.
+
+* **Capacity** (``capacity_elements`` given): local memory is an LRU over
+  whole block surfaces with a fixed element budget. The Section 4.3
+  sizing rule ``C + 2(A+B) <= S`` guarantees the cache admits the
+  *nominal* block's surfaces; when actual blocks are smaller (remainder
+  strips, problems smaller than the nominal block), the same physical
+  cache retains surfaces of earlier blocks too, and the adjacency model
+  over-counts external traffic. :class:`SurfaceResidency` tracks that
+  retention exactly; the engines use it so their counters match what a
+  trace-driven LRU simulation of the same schedule observes.
+
+Partial C surfaces are special in both models: abandoning one before its
+reduction completes costs a write-back now *and* a re-fetch when the
+schedule returns to it — "the IO for a partial result is twice that of a
+completed result" (Section 2.2).
 
 :func:`analyze_reuse` walks any schedule and tallies every external
 transfer in elements, attributing it to A-fetch, B-fetch, C-refetch,
@@ -16,10 +32,13 @@ total; the ablation bench compares all variants with these numbers.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
 
 from repro.errors import ScheduleError
 from repro.schedule.space import BlockCoord, BlockGrid
+from repro.util import require_positive
 
 
 @dataclass(slots=True)
@@ -69,6 +88,77 @@ class ReuseReport:
         return self.io_total - self.io_c_final
 
 
+class SurfaceResidency:
+    """LRU set of block surfaces under a fixed element budget.
+
+    Keys are opaque surface identities (the engines use
+    ``("A", mi, ki)``-style tuples); each key has a fixed element count.
+    ``touch`` returns whether the surface was already resident — i.e.
+    whether the fetch is free — installing it and evicting
+    least-recently-used surfaces as needed. Surfaces named in ``pinned``
+    are never evicted, so the block in flight cannot evict its own
+    operands even when the budget is smaller than one block (the
+    residency then runs over budget — streaming semantics, matching
+    :class:`repro.memsim.lru.LRUCache`).
+    """
+
+    def __init__(
+        self,
+        capacity_elements: int,
+        *,
+        on_evict: Callable[[Hashable, int], None] | None = None,
+    ) -> None:
+        require_positive("capacity_elements", capacity_elements)
+        self.capacity_elements = capacity_elements
+        self._on_evict = on_evict
+        self._entries: OrderedDict[Hashable, int] = OrderedDict()
+        self._used = 0
+
+    @property
+    def used_elements(self) -> int:
+        """Elements currently resident."""
+        return self._used
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def touch(
+        self,
+        key: Hashable,
+        elements: int,
+        *,
+        pinned: Iterable[Hashable] = (),
+    ) -> bool:
+        """Mark ``key`` most-recently-used; returns True if it was resident."""
+        require_positive("elements", elements)
+        hit = key in self._entries
+        if hit:
+            self._entries.move_to_end(key)
+        else:
+            self._entries[key] = elements
+            self._used += elements
+            self._evict_to_fit(frozenset(pinned))
+        return hit
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop ``key`` without counting an eviction (explicit release)."""
+        elements = self._entries.pop(key, None)
+        if elements is not None:
+            self._used -= elements
+
+    def _evict_to_fit(self, pinned: frozenset) -> None:
+        while self._used > self.capacity_elements:
+            victim = next(
+                (k for k in self._entries if k not in pinned), None
+            )
+            if victim is None:
+                return  # everything left is pinned: run over budget
+            elements = self._entries.pop(victim)
+            self._used -= elements
+            if self._on_evict is not None:
+                self._on_evict(victim, elements)
+
+
 def validate_schedule(grid: BlockGrid, order: list[BlockCoord]) -> None:
     """Raise :class:`ScheduleError` unless ``order`` covers every block once."""
     seen = set()
@@ -86,14 +176,25 @@ def validate_schedule(grid: BlockGrid, order: list[BlockCoord]) -> None:
         grid.extent(coord)  # raises IndexError if out of range
 
 
-def analyze_reuse(grid: BlockGrid, order: list[BlockCoord]) -> ReuseReport:
+def analyze_reuse(
+    grid: BlockGrid,
+    order: list[BlockCoord],
+    *,
+    capacity_elements: int | None = None,
+) -> ReuseReport:
     """Count the external IO implied by executing ``order`` on ``grid``.
 
-    The resident set is exactly the previous block's three surfaces, which
-    matches the LRU-sized local memory of Section 4.3 (one block in flight,
-    the next block's inputs streaming in).
+    With ``capacity_elements=None`` the resident set is exactly the
+    previous block's three surfaces — one block in flight, the next
+    block's inputs streaming in. With a capacity, surfaces persist in an
+    LRU under that element budget (:class:`SurfaceResidency`), which is
+    what the Section 4.3-sized cache actually does when blocks are
+    smaller than nominal; the engines pass their plan's budget so
+    executor counters agree with a trace-driven LRU of the same walk.
     """
     validate_schedule(grid, order)
+    if capacity_elements is not None:
+        return _analyze_reuse_lru(grid, order, capacity_elements)
     report = ReuseReport()
     prev: BlockCoord | None = None
 
@@ -140,3 +241,57 @@ def _retire_previous(grid: BlockGrid, prev: BlockCoord, report: ReuseReport) -> 
         report.io_c_final += ext.surface_c
     else:
         report.io_c_spill += ext.surface_c
+
+
+def _analyze_reuse_lru(
+    grid: BlockGrid, order: list[BlockCoord], capacity_elements: int
+) -> ReuseReport:
+    """The capacity-model walk behind :func:`analyze_reuse`.
+
+    A partial C surface evicted by LRU pressure is a spill; touching it
+    again later is a refetch. Completed C surfaces are written back and
+    invalidated immediately — a finished result earns no further reuse,
+    so holding it would only displace live surfaces.
+    """
+    report = ReuseReport()
+    residency: SurfaceResidency | None = None
+
+    def on_evict(key: Hashable, elements: int) -> None:
+        if key[0] == "C":
+            report.io_c_spill += elements
+
+    residency = SurfaceResidency(capacity_elements, on_evict=on_evict)
+
+    for coord in order:
+        ext = grid.extent(coord)
+        report.blocks += 1
+        a_key = ("A", coord.mi, coord.ki)
+        b_key = ("B", coord.ki, coord.ni)
+        c_key = ("C", coord.mi, coord.ni)
+        pinned = (a_key, b_key, c_key)
+
+        if residency.touch(a_key, ext.surface_a, pinned=pinned):
+            report.reuse_a += 1
+        else:
+            report.io_a += ext.surface_a
+
+        if residency.touch(b_key, ext.surface_b, pinned=pinned):
+            report.reuse_b += 1
+        else:
+            report.io_b += ext.surface_b
+
+        progress_key = (coord.mi, coord.ni)
+        done_before = report._progress.get(progress_key, 0)
+        if residency.touch(c_key, ext.surface_c, pinned=pinned):
+            if done_before:
+                report.reuse_c += 1
+        elif done_before:
+            # Spilled earlier by capacity pressure: fetch the partials back.
+            report.io_c_refetch += ext.surface_c
+        report._progress[progress_key] = done_before + 1
+
+        if report._progress[progress_key] == grid.kb:
+            report.io_c_final += ext.surface_c
+            residency.invalidate(c_key)
+
+    return report

@@ -1,0 +1,76 @@
+"""Golden-file regression tests for the bench row generators.
+
+Each covered experiment runs at quick scale, its report is flattened to
+header-keyed rows (the same shape ``BENCH_*.json`` carries), and the
+result is diffed against a committed fixture under ``tests/golden/``.
+Any numeric drift in the analytical models — block geometry, IO
+counters, bandwidth curves — shows up here as a readable JSON diff
+instead of a silently changed figure.
+
+To intentionally re-baseline after a model change::
+
+    CAKE_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/bench/test_golden.py
+
+then review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import run_experiment
+from repro.runtime import ExperimentRuntime, rows_from_report
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: Experiments pinned by golden files: the cheap, fully deterministic
+#: generators spanning every analysis family (machine table, CB
+#: scaling, stall/access profiles, shape sweep, speedup, core scaling).
+PINNED = ("table2", "fig4", "fig7a", "fig7b", "fig8", "fig9a", "fig10")
+
+
+def _canonical_rows(name: str) -> str:
+    report = run_experiment(name, "quick")
+    rows = rows_from_report(report)
+    return json.dumps(rows, sort_keys=True, indent=1, default=str) + "\n"
+
+
+@pytest.mark.parametrize("name", PINNED)
+def test_rows_match_golden(name):
+    path = GOLDEN_DIR / f"{name}_quick.json"
+    actual = _canonical_rows(name)
+    if os.environ.get("CAKE_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; run with CAKE_REGEN_GOLDEN=1 "
+        "to create it"
+    )
+    expected = path.read_text()
+    assert actual == expected, (
+        f"{name} quick-scale rows drifted from {path.name}; if the model "
+        "change is intentional, regenerate with CAKE_REGEN_GOLDEN=1 and "
+        "review the diff"
+    )
+
+
+def test_golden_rows_survive_the_runtime():
+    """Routing a pinned experiment through the runtime changes nothing."""
+    name = "fig8"
+    direct = _canonical_rows(name)
+    report = run_experiment(name, "quick", runtime=ExperimentRuntime(workers=2))
+    routed = json.dumps(
+        rows_from_report(report), sort_keys=True, indent=1, default=str
+    ) + "\n"
+    assert routed == direct
+
+
+def test_no_orphan_golden_fixtures():
+    """Every committed fixture corresponds to a pinned experiment."""
+    fixtures = {p.stem for p in GOLDEN_DIR.glob("*_quick.json")}
+    assert fixtures == {f"{name}_quick" for name in PINNED}

@@ -1,15 +1,43 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the pinned hypothesis profile for the test suite.
+
+Property tests must be reproducible run-to-run: the ``default`` profile
+below pins the derandomized seed and disables per-example deadlines (CI
+boxes have noisy clocks; the models under test are deterministic, so a
+deadline only adds flakes). The ``ci`` profile keeps the same seed but
+multiplies the example budget for scheduled deep runs — select it with
+``HYPOTHESIS_PROFILE=ci``. Per-test ``@settings`` decorators still apply
+on top (they override the profile's ``max_examples``/``deadline``).
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.machines import (
     amd_ryzen_9_5950x,
     arm_cortex_a53,
     intel_i9_10900k,
 )
+
+settings.register_profile(
+    "default",
+    derandomize=True,
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=100,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -105,7 +105,11 @@ class TestAccounting:
         eng = CakeGemm(intel)
         run = eng.analyze(3100, 2900, 1700)
         plan = eng.plan_for(3100, 2900, 1700)
-        report = analyze_reuse(plan.grid(), plan.schedule())
+        report = analyze_reuse(
+            plan.grid(),
+            plan.schedule(),
+            capacity_elements=plan.residency_elements,
+        )
         assert run.counters.ext_a_read == report.io_a
         assert run.counters.ext_b_read == report.io_b
         assert run.counters.ext_c_write == report.io_c_final

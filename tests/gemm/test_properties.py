@@ -30,10 +30,34 @@ class TestCakeCounterIdentities:
         eng = CakeGemm(intel_i9_10900k(), cores=cores)
         run = eng.analyze(m, n, k)
         plan = eng.plan_for(m, n, k)
-        io = analyze_reuse(plan.grid(), plan.schedule())
+        io = analyze_reuse(
+            plan.grid(),
+            plan.schedule(),
+            capacity_elements=plan.residency_elements,
+        )
         assert run.counters.ext_a_read == io.io_a
         assert run.counters.ext_b_read == io.io_b
         assert run.counters.ext_c_write == io.io_c_final == m * n
+
+    @settings(max_examples=25, deadline=None)
+    @given(shapes(), st.integers(1, 10))
+    def test_capacity_model_never_exceeds_adjacency_model(self, shape, cores):
+        """The Section 4.3 LRU can only retain *more* than one block's
+        surfaces, so tightening the counter model must never add IO."""
+        m, n, k = shape
+        plan = CakeGemm(intel_i9_10900k(), cores=cores).plan_for(m, n, k)
+        grid, order = plan.grid(), plan.schedule()
+        adjacency = analyze_reuse(grid, order)
+        capacity = analyze_reuse(
+            grid, order, capacity_elements=plan.residency_elements
+        )
+        assert capacity.io_a <= adjacency.io_a
+        assert capacity.io_b <= adjacency.io_b
+        assert capacity.io_total <= adjacency.io_total
+        # Both still pay every compulsory transfer.
+        assert capacity.io_a >= m * k
+        assert capacity.io_b >= k * n
+        assert capacity.io_c_final == m * n
 
     @settings(max_examples=25, deadline=None)
     @given(shapes(), st.integers(1, 10))
@@ -103,3 +127,28 @@ class TestGotoCounterIdentities:
             cake.counters.ext_compute_elements
             <= goto.counters.ext_compute_elements * 1.05
         )
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            # Falsified the adjacency-only counter model: K splits into a
+            # ragged [192, 1] pair, and the old model re-charged the big A
+            # slice on every N turn while GOTO (kc=252 >= k) read A once.
+            (215, 1921, 193),
+            # Capacity pressure: blocks near nominal size, multiple K
+            # slices — exercises the LRU at its Section 4.3 budget.
+            (3000, 3000, 250),
+        ],
+    )
+    def test_cake_never_moves_more_external_data_regressions(self, shape):
+        """Pinned falsifying shapes for the counter-model fix."""
+        m, n, k = shape
+        cake = CakeGemm(intel_i9_10900k()).analyze(m, n, k)
+        goto = GotoGemm(intel_i9_10900k()).analyze(m, n, k)
+        assert (
+            cake.counters.ext_compute_elements
+            <= goto.counters.ext_compute_elements
+        )
+        # Both engines sit exactly on the compulsory floor here: one K
+        # slice fits GOTO's kc and CAKE's retained surfaces cover the rest.
+        assert cake.counters.ext_compute_elements == m * k + k * n + m * n

@@ -1,0 +1,149 @@
+"""Bit-for-bit equivalence of the vectorized batch replay engine.
+
+The vectorized path (:mod:`repro.memsim.vectorized`) must be an *exact*
+reimplementation of the scalar line-by-line hierarchy — same serves
+breakdown, same DRAM bytes, for the same op stream. These tests pin that
+over both engines' schedules, random op soups, chunk boundaries, and
+every machine preset.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import amd_ryzen_9_5950x, arm_cortex_a53, intel_i9_10900k
+from repro.memsim.linear import (
+    LineHierarchy,
+    cake_line_ops,
+    goto_line_ops,
+    line_profile_cake,
+    line_profile_goto,
+)
+from repro.memsim.vectorized import (
+    VectorizedLineHierarchy,
+    expand_ranges,
+)
+
+
+def _scalar_replay(machine, cores, ops):
+    hier = LineHierarchy(machine, cores)
+    for core, base, nbytes, write in ops:
+        hier.access_range(core, base, nbytes, write=write)
+    return hier
+
+
+class TestExpandRanges:
+    def test_single_range_covers_every_line(self):
+        cores, lines, writes = expand_ranges(
+            np.array([3]), np.array([100]), np.array([200]), np.array([1]), 64
+        )
+        # bytes [100, 300) touch lines 1..4 inclusive.
+        assert lines.tolist() == [1, 2, 3, 4]
+        assert cores.tolist() == [3, 3, 3, 3]
+        assert writes.tolist() == [1, 1, 1, 1]
+
+    def test_concatenates_in_op_order(self):
+        cores, lines, _ = expand_ranges(
+            np.array([0, 1]),
+            np.array([0, 64]),
+            np.array([64, 128]),
+            np.array([0, 0]),
+            64,
+        )
+        assert lines.tolist() == [0, 1, 2]
+        assert cores.tolist() == [0, 1, 1]
+
+    def test_matches_scalar_line_walk(self):
+        rng = np.random.default_rng(7)
+        bases = rng.integers(0, 10_000, 50)
+        sizes = rng.integers(1, 500, 50)
+        _, lines, _ = expand_ranges(
+            np.zeros(50, dtype=np.int64), bases, sizes, np.zeros(50, np.int64), 64
+        )
+        expected = []
+        for b, s in zip(bases.tolist(), sizes.tolist()):
+            first, last = b // 64, (b + s - 1) // 64
+            expected.extend(range(first, last + 1))
+        assert lines.tolist() == expected
+
+
+class TestBitForBitEquivalence:
+    @pytest.mark.parametrize("preset", [intel_i9_10900k, amd_ryzen_9_5950x, arm_cortex_a53])
+    @pytest.mark.parametrize("ops_fn", [cake_line_ops, goto_line_ops])
+    def test_schedule_streams(self, preset, ops_fn):
+        machine = preset()
+        cores = min(4, machine.cores)
+        ops = list(ops_fn(machine, 96, 96, 96, cores=cores))
+        scalar = _scalar_replay(machine, cores, ops)
+        vec = VectorizedLineHierarchy(machine, cores).replay(ops)
+        assert vec.serves == scalar.serves
+        assert vec.dram_bytes == scalar.dram_bytes
+        assert vec.dram_fraction == scalar.dram_fraction
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.integers(0, 1 << 16),
+                st.integers(1, 4096),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_random_op_soup(self, raw_ops):
+        """Arbitrary interleaved op streams agree too — hot re-touches,
+        cross-core sharing, arbitrary alignment."""
+        machine = intel_i9_10900k()
+        ops = [(c, b, s, w) for c, b, s, w in raw_ops]
+        scalar = _scalar_replay(machine, 4, ops)
+        vec = VectorizedLineHierarchy(machine, 4).replay(ops)
+        assert vec.serves == scalar.serves
+        assert vec.dram_bytes == scalar.dram_bytes
+
+    def test_chunk_boundaries_preserve_state(self):
+        """Replaying in tiny chunks must equal one big batch — the LRU
+        state carries across chunk boundaries exactly."""
+        machine = intel_i9_10900k()
+        ops = list(cake_line_ops(machine, 64, 64, 64, cores=2))
+        whole = VectorizedLineHierarchy(machine, 2).replay(ops)
+        chunked = VectorizedLineHierarchy(machine, 2).replay(ops, chunk_ops=3)
+        assert whole.serves == chunked.serves
+        assert whole.dram_bytes == chunked.dram_bytes
+
+    def test_profiles_agree_end_to_end(self, intel):
+        for fn in (line_profile_cake, line_profile_goto):
+            scalar = fn(intel, 128, 128, 128, cores=4, vectorized=False)
+            vec = fn(intel, 128, 128, 128, cores=4, vectorized=True)
+            assert scalar.serves == vec.serves
+            assert scalar.dram_bytes == vec.dram_bytes
+            assert scalar.dram_fraction == vec.dram_fraction
+            assert scalar.engine == vec.engine
+
+
+class TestVectorizedBehaviour:
+    def test_l1_hit_on_immediate_retouch(self, intel):
+        vec = VectorizedLineHierarchy(intel, 1)
+        vec.replay([(0, 0, 64, False), (0, 0, 64, False)])
+        assert vec.serves["L1"] == 1
+        assert vec.serves["DRAM"] == 1
+
+    def test_cold_stream_misses_to_dram(self, intel):
+        # One touch each of many distinct lines: everything is compulsory.
+        n_lines = 1000
+        vec = VectorizedLineHierarchy(intel, 1)
+        vec.replay([(0, 0, n_lines * 64, False)])
+        assert vec.serves["DRAM"] == n_lines
+        assert vec.dram_bytes == n_lines * 64
+
+    def test_working_set_larger_than_l1_falls_to_l2(self, intel):
+        # Stream twice over a buffer bigger than L1 but smaller than L2:
+        # second pass hits in L2, not L1.
+        nbytes = intel.l1_bytes * 4
+        assert nbytes < intel.l2_bytes
+        vec = VectorizedLineHierarchy(intel, 1)
+        vec.replay([(0, 0, nbytes, False), (0, 0, nbytes, False)])
+        assert vec.serves["L2"] == nbytes // 64
+        assert vec.serves["L1"] == 0

@@ -1,0 +1,64 @@
+"""On-disk result cache: round-trips, corruption handling, atomicity."""
+
+import json
+
+from repro.runtime import ResultCache
+
+
+class TestResultCache:
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        row = {"task_id": "abc123", "gflops": 512.5, "serves": {"L1": 7}}
+        cache.store("abc123", row)
+        assert cache.load("abc123") == row
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("nonexistent") is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_file_is_evicted_and_missed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("bad000", {"x": 1})
+        path = next(tmp_path.glob("*.json"))
+        path.write_text("{truncated")
+        assert cache.load("bad000") is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists(), "corrupt entry should be unlinked"
+        # The slot is reusable afterwards.
+        cache.store("bad000", {"x": 2})
+        assert cache.load("bad000") == {"x": 2}
+
+    def test_store_overwrites_atomically(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("key", {"v": 1})
+        cache.store("key", {"v": 2})
+        assert cache.load("key") == {"v": 2}
+        assert len(cache) == 1
+        # No stray temp files left behind.
+        leftovers = [p for p in tmp_path.iterdir() if not p.name.endswith(".json")]
+        assert leftovers == []
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.store(f"id{i}", {"i": i})
+        assert len(cache) == 3
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.load("id0") is None
+
+    def test_entries_are_plain_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("readable", {"gflops": 1.5})
+        path = next(tmp_path.glob("*.json"))
+        assert json.loads(path.read_text()) == {"gflops": 1.5}
+
+    def test_creates_root_directory(self, tmp_path):
+        root = tmp_path / "deep" / "cache"
+        cache = ResultCache(root)
+        cache.store("k", {"v": 0})
+        assert root.is_dir()
+        assert cache.load("k") == {"v": 0}

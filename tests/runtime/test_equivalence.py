@@ -1,0 +1,95 @@
+"""Runtime-vs-direct equivalence for every rewired analysis function.
+
+The runtime is an execution strategy, not a model change: fanning a
+figure's grid over the task runner (serial or parallel, cold or warm
+cache) must reproduce the direct in-process computation exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import scaling_series
+from repro.analysis.speedup import speedup_series
+from repro.analysis.sweep import relative_throughput_grid
+from repro.machines import arm_cortex_a53, intel_i9_10900k
+from repro.runtime import ExperimentRuntime
+
+SIZES = (500, 1000, 1500)
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_relative_throughput_grid(self, workers):
+        direct = relative_throughput_grid(
+            intel_i9_10900k(), aspect=1.0, m_values=SIZES, k_values=SIZES
+        )
+        routed = relative_throughput_grid(
+            intel_i9_10900k(),
+            aspect=1.0,
+            m_values=SIZES,
+            k_values=SIZES,
+            runtime=ExperimentRuntime(workers=workers),
+        )
+        assert np.array_equal(direct.ratio, routed.ratio)
+        assert direct.m_values == routed.m_values
+        assert direct.k_values == routed.k_values
+
+
+class TestSpeedupEquivalence:
+    @pytest.mark.parametrize("engine", ["cake", "goto"])
+    def test_speedup_series(self, engine):
+        direct = speedup_series(intel_i9_10900k(), 2000, engine=engine)
+        routed = speedup_series(
+            intel_i9_10900k(),
+            2000,
+            engine=engine,
+            runtime=ExperimentRuntime(workers=2),
+        )
+        assert routed == direct
+
+    def test_bad_engine_rejected_before_fanout(self):
+        with pytest.raises(ValueError):
+            speedup_series(
+                intel_i9_10900k(),
+                2000,
+                engine="blis",
+                runtime=ExperimentRuntime(),
+            )
+
+
+class TestScalingEquivalence:
+    @pytest.mark.parametrize(
+        "machine", [intel_i9_10900k, arm_cortex_a53], ids=lambda f: f.__name__
+    )
+    def test_scaling_series_with_extrapolation(self, machine):
+        spec = machine()
+        direct = scaling_series(spec, 2000, extrapolate_to=spec.cores + 2)
+        routed = scaling_series(
+            spec,
+            2000,
+            extrapolate_to=spec.cores + 2,
+            runtime=ExperimentRuntime(workers=2),
+        )
+        assert routed == direct
+
+
+class TestWarmCacheEquivalence:
+    def test_cached_rerun_reproduces_grid(self, tmp_path):
+        runtime = ExperimentRuntime(cache_dir=tmp_path)
+        cold = relative_throughput_grid(
+            intel_i9_10900k(),
+            aspect=1.0,
+            m_values=SIZES,
+            k_values=SIZES,
+            runtime=runtime,
+        )
+        warm = relative_throughput_grid(
+            intel_i9_10900k(),
+            aspect=1.0,
+            m_values=SIZES,
+            k_values=SIZES,
+            runtime=runtime,
+        )
+        assert np.array_equal(cold.ratio, warm.ratio)
+        assert runtime.last_stats.executed == 0
+        assert runtime.last_stats.cache_hits == runtime.last_stats.tasks

@@ -1,0 +1,134 @@
+"""Runtime executor: ordering, determinism, sharding, memoization."""
+
+import pytest
+
+from repro.runtime import ExperimentRuntime, ExperimentTask
+
+
+def _grid(count: int = 10) -> list[ExperimentTask]:
+    tasks = []
+    for i in range(count):
+        for engine in ("cake", "goto"):
+            tasks.append(
+                ExperimentTask(
+                    kind="predict",
+                    engine=engine,
+                    machine="Intel i9-10900K",
+                    m=400 + 100 * i,
+                    n=500,
+                    k=300,
+                )
+            )
+    return tasks
+
+
+class TestOrderingAndDeterminism:
+    def test_rows_come_back_in_input_order(self):
+        tasks = _grid()
+        rows = ExperimentRuntime().run(tasks)
+        assert [r["task_id"] for r in rows] == [t.task_id for t in tasks]
+
+    @pytest.mark.parametrize("workers", [2, 3, 5])
+    def test_parallel_matches_serial_byte_for_byte(self, workers):
+        tasks = _grid(6)
+        serial = ExperimentRuntime(workers=1).run(tasks)
+        parallel = ExperimentRuntime(workers=workers).run(tasks)
+        assert parallel == serial
+
+    def test_rerun_is_identical(self):
+        tasks = _grid(4)
+        runtime = ExperimentRuntime()
+        assert runtime.run(tasks) == runtime.run(tasks)
+
+    def test_empty_task_list(self):
+        runtime = ExperimentRuntime(workers=4)
+        assert runtime.run([]) == []
+        assert runtime.last_stats.tasks == 0
+        assert runtime.last_stats.shards == 0
+
+
+class TestSharding:
+    def test_round_robin_is_positional(self):
+        runtime = ExperimentRuntime(workers=3)
+        pending = [(i, None) for i in range(8)]
+        shards = runtime._shard(pending)
+        assert [[i for i, _ in shard] for shard in shards] == [
+            [0, 3, 6],
+            [1, 4, 7],
+            [2, 5],
+        ]
+
+    def test_never_more_shards_than_tasks(self):
+        runtime = ExperimentRuntime(workers=16)
+        shards = runtime._shard([(0, None), (1, None)])
+        assert len(shards) == 2
+
+    def test_single_worker_never_splits(self):
+        runtime = ExperimentRuntime(workers=1)
+        pending = [(i, None) for i in range(5)]
+        assert runtime._shard(pending) == [pending]
+
+    def test_stats_record_shard_count(self):
+        tasks = _grid(3)
+        runtime = ExperimentRuntime(workers=2)
+        runtime.run(tasks)
+        assert runtime.last_stats.shards == 2
+        assert runtime.last_stats.workers == 2
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ExperimentRuntime(workers=0)
+
+
+class TestMemoization:
+    def test_cold_then_warm(self, tmp_path):
+        tasks = _grid(4)
+        runtime = ExperimentRuntime(cache_dir=tmp_path)
+        cold = runtime.run(tasks)
+        assert runtime.last_stats.executed == len(tasks)
+        assert runtime.last_stats.cache_hits == 0
+
+        warm = runtime.run(tasks)
+        assert warm == cold
+        assert runtime.last_stats.executed == 0
+        assert runtime.last_stats.cache_hits == len(tasks)
+
+    def test_cache_is_shared_across_runtime_instances(self, tmp_path):
+        tasks = _grid(2)
+        first = ExperimentRuntime(cache_dir=tmp_path).run(tasks)
+        second_rt = ExperimentRuntime(cache_dir=tmp_path)
+        assert second_rt.run(tasks) == first
+        assert second_rt.last_stats.executed == 0
+
+    def test_partial_warm_mixes_cached_and_fresh_in_order(self, tmp_path):
+        tasks = _grid(4)
+        runtime = ExperimentRuntime(cache_dir=tmp_path)
+        runtime.run(tasks[::2])  # warm the even positions only
+        rows = runtime.run(tasks)
+        assert [r["task_id"] for r in rows] == [t.task_id for t in tasks]
+        assert runtime.last_stats.cache_hits == len(tasks[::2])
+        assert runtime.last_stats.executed == len(tasks) - len(tasks[::2])
+
+    def test_no_cache_dir_means_no_memoization(self):
+        tasks = _grid(2)
+        runtime = ExperimentRuntime()
+        runtime.run(tasks)
+        runtime.run(tasks)
+        assert runtime.last_stats.cache_hits == 0
+        assert runtime.last_stats.executed == len(tasks)
+
+
+class TestRowLog:
+    def test_drain_rows_accumulates_then_empties(self):
+        tasks = _grid(2)
+        runtime = ExperimentRuntime()
+        runtime.run(tasks[:2])
+        runtime.run(tasks[2:])
+        drained = runtime.drain_rows()
+        assert [r["task_id"] for r in drained] == [t.task_id for t in tasks]
+        assert runtime.drain_rows() == []
+
+    def test_wall_seconds_is_recorded(self):
+        runtime = ExperimentRuntime()
+        runtime.run(_grid(1))
+        assert runtime.last_stats.wall_seconds > 0.0

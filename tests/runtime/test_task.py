@@ -1,0 +1,129 @@
+"""Task identity, seeds, machine resolution, and row round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machines import amd_ryzen_9_5950x, arm_cortex_a53, intel_i9_10900k
+from repro.perfmodel.predict import predict_cake
+from repro.runtime import (
+    MACHINE_FACTORIES,
+    ExperimentTask,
+    machine_key,
+    prediction_from_row,
+    run_task,
+)
+
+
+def _task(**overrides):
+    base = dict(
+        kind="predict", engine="cake", machine="Intel i9-10900K",
+        m=500, n=400, k=300,
+    )
+    base.update(overrides)
+    return ExperimentTask(**base)
+
+
+class TestTaskIdentity:
+    def test_id_is_stable_across_instances(self):
+        assert _task().task_id == _task().task_id
+
+    def test_id_depends_on_every_field(self):
+        base = _task()
+        for change in (
+            {"engine": "goto"},
+            {"machine": "ARM v8 Cortex-A53"},
+            {"m": 501},
+            {"n": 401},
+            {"k": 301},
+            {"cores": 4},
+            {"alpha": 2.0},
+            {"extrapolate_cores": 12},
+            {"kind": "line_profile"},
+        ):
+            assert _task(**change).task_id != base.task_id, change
+
+    def test_seed_derives_from_id(self):
+        t = _task()
+        assert t.seed == int(t.task_id[:12], 16)
+        assert _task(m=501).seed != t.seed
+
+    def test_rejects_unknown_kind_engine_machine(self):
+        with pytest.raises(ConfigurationError):
+            _task(kind="simulate")
+        with pytest.raises(ConfigurationError):
+            _task(engine="blis")
+        with pytest.raises(ConfigurationError):
+            _task(machine="Cray-1")
+
+    def test_is_picklable(self):
+        import pickle
+
+        t = _task(cores=3, alpha=1.5)
+        assert pickle.loads(pickle.dumps(t)) == t
+
+
+class TestMachineResolution:
+    def test_every_preset_is_registered(self):
+        for factory in (intel_i9_10900k, amd_ryzen_9_5950x, arm_cortex_a53):
+            spec = factory()
+            assert machine_key(spec) == spec.name
+            assert MACHINE_FACTORIES[spec.name]().name == spec.name
+
+    def test_unknown_machine_raises(self):
+        spec = dataclasses.replace(intel_i9_10900k(), name="Custom Xeon")
+        with pytest.raises(ConfigurationError):
+            machine_key(spec)
+
+    def test_extrapolation_grows_the_machine(self):
+        t = _task(machine="ARM v8 Cortex-A53", extrapolate_cores=8)
+        spec = t.resolve_machine()
+        assert spec.cores == 8
+        assert spec.llc_bytes > arm_cortex_a53().llc_bytes
+
+    def test_extrapolation_below_physical_restricts(self):
+        t = _task(machine="Intel i9-10900K", extrapolate_cores=4)
+        spec = t.resolve_machine()
+        assert spec.cores == 4
+        assert spec.llc_bytes == intel_i9_10900k().llc_bytes
+
+
+class TestRunTask:
+    def test_predict_row_matches_direct_prediction(self):
+        t = _task(cores=6)
+        row = run_task(t)
+        direct = predict_cake(intel_i9_10900k(), 500, 400, 300, cores=6)
+        assert row["gflops"] == direct.gflops
+        assert row["seconds"] == direct.seconds
+        assert row["dram_gb_per_s"] == direct.dram_gb_per_s
+        assert row["active_cores"] == direct.cores
+
+    def test_prediction_round_trips_through_row(self):
+        t = _task(cores=6)
+        rebuilt = prediction_from_row(run_task(t))
+        assert rebuilt == predict_cake(
+            intel_i9_10900k(), 500, 400, 300, cores=6
+        )
+
+    def test_rows_are_json_serializable(self):
+        import json
+
+        for kind, shape in (
+            ("predict", (500, 400, 300)),
+            ("line_profile", (64, 64, 64)),
+            ("mem_profile", (128, 128, 128)),
+        ):
+            row = run_task(
+                _task(kind=kind, m=shape[0], n=shape[1], k=shape[2])
+            )
+            assert json.loads(json.dumps(row)) == row
+
+    def test_line_profile_row_matches_direct(self):
+        from repro.memsim.linear import line_profile_goto
+
+        t = _task(kind="line_profile", engine="goto", m=96, n=96, k=96, cores=2)
+        row = run_task(t)
+        direct = line_profile_goto(intel_i9_10900k(), 96, 96, 96, cores=2)
+        assert row["serves"] == direct.serves
+        assert row["dram_bytes"] == direct.dram_bytes
