@@ -3,9 +3,12 @@
 :mod:`repro.analysis.speedup` — the ``t_1 / t_p`` speedup series of
 Figure 9; :mod:`repro.analysis.scaling` — the core-count sweeps with
 extrapolated machines of Figures 10-12; :mod:`repro.analysis.sweep` — the
-matrix-shape grids behind Figure 8's contours.
+matrix-shape grids behind Figure 8's contours. All of them price their
+engine predictions through :mod:`repro.analysis.batch`, the vectorized
+(and bit-identical) form of the engines' analytic schedule walk.
 """
 
+from repro.analysis.batch import analyze_cake_batch, analyze_goto_batch
 from repro.analysis.speedup import SpeedupSeries, speedup_series
 from repro.analysis.scaling import ScalingPoint, scaling_series
 from repro.analysis.sweep import ShapeSweepResult, relative_throughput_grid
@@ -23,6 +26,8 @@ from repro.analysis.crossover import (
 )
 
 __all__ = [
+    "analyze_cake_batch",
+    "analyze_goto_batch",
     "SpeedupSeries",
     "speedup_series",
     "ScalingPoint",

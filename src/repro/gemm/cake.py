@@ -63,6 +63,12 @@ class CakeGemm:
     exact_tiles:
         Execute every ``mr x nr`` register tile explicitly instead of one
         vectorised panel product per core strip (slow; for validation).
+    exact_walk:
+        Run :meth:`analyze` through the scalar per-block walk instead of
+        the vectorized batch analyzer. The two are bit-for-bit identical
+        (asserted by tests); the flag exists as the oracle for those
+        equivalence tests and for debugging the walk block by block.
+        :meth:`multiply` always walks scalar — it must execute tiles.
     """
 
     def __init__(
@@ -72,11 +78,13 @@ class CakeGemm:
         cores: int | None = None,
         alpha: float | None = None,
         exact_tiles: bool = False,
+        exact_walk: bool = False,
     ) -> None:
         self.machine = machine
         self.cores = cores
         self.alpha = alpha
         self.exact_tiles = exact_tiles
+        self.exact_walk = exact_walk
 
     # -- public API ----------------------------------------------------------
 
@@ -103,10 +111,23 @@ class CakeGemm:
     def analyze(self, m: int, n: int, k: int) -> GemmRun:
         """Traffic and timing accounting only — no numerical execution.
 
-        Exact same walk as :meth:`multiply`, with ``c=None`` in the
-        result; this is what the large-problem figure sweeps call.
+        Same accounting as :meth:`multiply`, with ``c=None`` in the
+        result; this is what the large-problem figure sweeps call. By
+        default it runs the vectorized batch analyzer
+        (:func:`repro.analysis.batch.analyze_cake_batch`), which is
+        bit-for-bit identical to the scalar walk; pass
+        ``exact_walk=True`` to the constructor to force the walk.
         """
-        return self._run(ComputationSpace(m, n, k))
+        if self.exact_walk:
+            return self._run(ComputationSpace(m, n, k))
+        from repro.analysis.batch import analyze_cake_batch  # lazy: pkg cycle
+
+        return analyze_cake_batch(
+            self.machine,
+            ComputationSpace(m, n, k),
+            cores=self.cores,
+            alpha=self.alpha,
+        )
 
     # -- the schedule walk ----------------------------------------------------
 

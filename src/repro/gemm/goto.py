@@ -46,10 +46,12 @@ class GotoGemm:
         *,
         cores: int | None = None,
         exact_tiles: bool = False,
+        exact_walk: bool = False,
     ) -> None:
         self.machine = machine
         self.cores = cores
         self.exact_tiles = exact_tiles
+        self.exact_walk = exact_walk
 
     # -- public API ----------------------------------------------------------
 
@@ -71,8 +73,19 @@ class GotoGemm:
         return self._run(space, a=a, b=b)
 
     def analyze(self, m: int, n: int, k: int) -> GemmRun:
-        """Traffic and timing accounting only — no numerical execution."""
-        return self._run(ComputationSpace(m, n, k))
+        """Traffic and timing accounting only — no numerical execution.
+
+        Runs the vectorized batch analyzer by default
+        (:func:`repro.analysis.batch.analyze_goto_batch`, bit-identical
+        to the loop nest); ``exact_walk=True`` forces the scalar nest.
+        """
+        if self.exact_walk:
+            return self._run(ComputationSpace(m, n, k))
+        from repro.analysis.batch import analyze_goto_batch  # lazy: pkg cycle
+
+        return analyze_goto_batch(
+            self.machine, ComputationSpace(m, n, k), cores=self.cores
+        )
 
     # -- the loop nest ---------------------------------------------------------
 

@@ -20,6 +20,7 @@ which is exactly why its DRAM demand grows with core count.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.cb_block import CBBlock
 from repro.core.cpu_model import CakeCpuParams, GotoCpuParams
@@ -112,44 +113,14 @@ class CakePlan:
         is feasible (hopelessly starved DRAM), it takes the alpha with
         the most bandwidth headroom — still a closed evaluation of
         Section 3's equations, not a performance search.
-        """
-        cores = _resolve_cores(machine, cores)
-        if alpha is not None:
-            mc = solve_cake_mc(
-                p=cores,
-                alpha=alpha,
-                llc_elements=machine.llc_elements,
-                l2_elements=machine.l2_elements,
-                mr=machine.mr,
-                nr=machine.nr,
-            )
-            return cls(machine, space, cores, alpha, mc, mc)
 
-        best: tuple[float, float, int] | None = None  # (headroom, alpha, mc)
-        for candidate in ALPHA_GRID:
-            try:
-                mc = solve_cake_mc(
-                    p=cores,
-                    alpha=candidate,
-                    llc_elements=machine.llc_elements,
-                    l2_elements=machine.l2_elements,
-                    mr=machine.mr,
-                    nr=machine.nr,
-                )
-            except ConfigurationError:
-                break  # wider blocks can only be less feasible
-            available = _external_elements_per_cycle(machine, mc)
-            required = (candidate + 1.0) / candidate * machine.mr * machine.nr
-            headroom = available / required
-            if headroom >= 1.0:
-                return cls(machine, space, cores, candidate, mc, mc)
-            if best is None or headroom > best[0]:
-                best = (headroom, candidate, mc)
-        if best is None:
-            raise ConfigurationError(
-                f"{machine.name}: no feasible CB block for {cores} cores"
-            )
-        return cls(machine, space, cores, best[1], best[2], best[2])
+        Plans are memoized on ``(machine, space, cores, alpha)``: the
+        derivation is pure and every input is frozen/hashable, and the
+        sweeps re-derive the same plan for every block of a problem —
+        once through ``plan_for`` and again through ``analyze`` — so
+        repeated calls return the *same* :class:`CakePlan` instance.
+        """
+        return _cake_plan(machine, space, _resolve_cores(machine, cores), alpha)
 
     @property
     def m_block(self) -> int:
@@ -218,6 +189,52 @@ class CakePlan:
         return kfirst_schedule(self.grid())
 
 
+@lru_cache(maxsize=1024)
+def _cake_plan(
+    machine: MachineSpec,
+    space: ComputationSpace,
+    cores: int,
+    alpha: float | None,
+) -> CakePlan:
+    """The memoized body of :meth:`CakePlan.from_problem` (cores resolved)."""
+    if alpha is not None:
+        mc = solve_cake_mc(
+            p=cores,
+            alpha=alpha,
+            llc_elements=machine.llc_elements,
+            l2_elements=machine.l2_elements,
+            mr=machine.mr,
+            nr=machine.nr,
+        )
+        return CakePlan(machine, space, cores, alpha, mc, mc)
+
+    best: tuple[float, float, int] | None = None  # (headroom, alpha, mc)
+    for candidate in ALPHA_GRID:
+        try:
+            mc = solve_cake_mc(
+                p=cores,
+                alpha=candidate,
+                llc_elements=machine.llc_elements,
+                l2_elements=machine.l2_elements,
+                mr=machine.mr,
+                nr=machine.nr,
+            )
+        except ConfigurationError:
+            break  # wider blocks can only be less feasible
+        available = _external_elements_per_cycle(machine, mc)
+        required = (candidate + 1.0) / candidate * machine.mr * machine.nr
+        headroom = available / required
+        if headroom >= 1.0:
+            return CakePlan(machine, space, cores, candidate, mc, mc)
+        if best is None or headroom > best[0]:
+            best = (headroom, candidate, mc)
+    if best is None:
+        raise ConfigurationError(
+            f"{machine.name}: no feasible CB block for {cores} cores"
+        )
+    return CakePlan(machine, space, cores, best[1], best[2], best[2])
+
+
 @dataclass(frozen=True, slots=True)
 class GotoPlan:
     """Cache-filling GOTO tiling (Section 4.1) for the baseline engine."""
@@ -237,18 +254,12 @@ class GotoPlan:
         *,
         cores: int | None = None,
     ) -> "GotoPlan":
-        """Derive GOTO tiles from the machine's cache sizes alone."""
-        cores = _resolve_cores(machine, cores)
-        params = solve_goto_tiles(
-            p=cores,
-            llc_elements=machine.llc_elements,
-            l2_elements=machine.l2_elements,
-            mr=machine.mr,
-            nr=machine.nr,
-        )
-        return cls(
-            machine, space, cores, mc=params.mc, kc=params.kc, nc=params.nc
-        )
+        """Derive GOTO tiles from the machine's cache sizes alone.
+
+        Memoized on ``(machine, space, cores)`` like
+        :meth:`CakePlan.from_problem`.
+        """
+        return _goto_plan(machine, space, _resolve_cores(machine, cores))
 
     @property
     def kernel(self) -> MicroKernel:
@@ -266,3 +277,20 @@ class GotoPlan:
             mr=self.machine.mr,
             nr=self.machine.nr,
         )
+
+
+@lru_cache(maxsize=1024)
+def _goto_plan(
+    machine: MachineSpec, space: ComputationSpace, cores: int
+) -> GotoPlan:
+    """The memoized body of :meth:`GotoPlan.from_problem` (cores resolved)."""
+    params = solve_goto_tiles(
+        p=cores,
+        llc_elements=machine.llc_elements,
+        l2_elements=machine.l2_elements,
+        mr=machine.mr,
+        nr=machine.nr,
+    )
+    return GotoPlan(
+        machine, space, cores, mc=params.mc, kc=params.kc, nc=params.nc
+    )

@@ -39,12 +39,17 @@ def predict_cake(
     *,
     cores: int | None = None,
     alpha: float | None = None,
+    exact_walk: bool = False,
 ) -> PerfPrediction:
-    """Predicted CAKE performance for ``m x k . k x n`` on ``machine``."""
+    """Predicted CAKE performance for ``m x k . k x n`` on ``machine``.
+
+    Priced by the vectorized batch analyzer unless ``exact_walk`` forces
+    the scalar per-block walk (same numbers either way, bit for bit).
+    """
     from repro.gemm.cake import CakeGemm  # local import: avoids package cycle
 
-    run = CakeGemm(machine, cores=cores, alpha=alpha).analyze(m, n, k)
-    return _package(run)
+    engine = CakeGemm(machine, cores=cores, alpha=alpha, exact_walk=exact_walk)
+    return _package(engine.analyze(m, n, k))
 
 
 def predict_goto(
@@ -54,12 +59,13 @@ def predict_goto(
     k: int,
     *,
     cores: int | None = None,
+    exact_walk: bool = False,
 ) -> PerfPrediction:
     """Predicted GOTO (MKL/ARMPL/OpenBLAS-model) performance."""
     from repro.gemm.goto import GotoGemm  # local import: avoids package cycle
 
-    run = GotoGemm(machine, cores=cores).analyze(m, n, k)
-    return _package(run)
+    engine = GotoGemm(machine, cores=cores, exact_walk=exact_walk)
+    return _package(engine.analyze(m, n, k))
 
 
 def _package(run) -> PerfPrediction:

@@ -20,15 +20,43 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal
 
+import numpy as np
+
 from repro.machines.spec import MachineSpec
 from repro.util import require_nonnegative, require_positive
 
 Bound = Literal["compute", "external", "internal"]
 
+#: Bound names indexed by the integer codes :func:`block_times_batch` emits.
+BOUND_NAMES: tuple[Bound, Bound, Bound] = ("compute", "external", "internal")
+
+
+def _dominant_bound(
+    compute_seconds: float, external_seconds: float, internal_seconds: float
+) -> Bound:
+    """Which resource dominates a time breakdown (block or aggregate).
+
+    Tie priority matches :func:`block_time`: compute wins over external
+    wins over internal.
+    """
+    top = max(compute_seconds, external_seconds, internal_seconds)
+    if top == compute_seconds:
+        return "compute"
+    if top == external_seconds:
+        return "external"
+    return "internal"
+
 
 @dataclass(frozen=True, slots=True)
 class BlockTime:
-    """Priced execution of one block."""
+    """Priced execution of one block (or a sum of blocks).
+
+    For a sum, ``seconds`` is the accumulated per-block wall time (each
+    block pays its own max) while ``bound`` names the resource whose
+    *summed* demand dominates the aggregate — the argmax over the
+    accumulated per-resource seconds, not the bound of whichever single
+    block happened to be largest.
+    """
 
     seconds: float
     compute_seconds: float
@@ -37,12 +65,15 @@ class BlockTime:
     bound: Bound
 
     def __add__(self, other: "BlockTime") -> "BlockTime":
+        compute_s = self.compute_seconds + other.compute_seconds
+        ext_s = self.external_seconds + other.external_seconds
+        int_s = self.internal_seconds + other.internal_seconds
         return BlockTime(
             seconds=self.seconds + other.seconds,
-            compute_seconds=self.compute_seconds + other.compute_seconds,
-            external_seconds=self.external_seconds + other.external_seconds,
-            internal_seconds=self.internal_seconds + other.internal_seconds,
-            bound=self.bound if self.seconds >= other.seconds else other.bound,
+            compute_seconds=compute_s,
+            external_seconds=ext_s,
+            internal_seconds=int_s,
+            bound=_dominant_bound(compute_s, ext_s, int_s),
         )
 
 
@@ -101,4 +132,107 @@ def block_time(
         external_seconds=ext_s,
         internal_seconds=int_s,
         bound=bound,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BlockTimesBatch:
+    """Per-block roofline pricing of a whole schedule, as arrays.
+
+    Element ``i`` of every array is exactly what :func:`block_time`
+    returns for block ``i`` — same IEEE operations, applied elementwise —
+    so per-block seconds and bound codes are bit-identical to the scalar
+    walk's. ``bounds`` holds integer codes indexing :data:`BOUND_NAMES`.
+    """
+
+    seconds: np.ndarray
+    compute_seconds: np.ndarray
+    external_seconds: np.ndarray
+    internal_seconds: np.ndarray
+    bounds: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.seconds)
+
+    def bound_tallies(self) -> dict[str, int]:
+        """How many blocks each resource bounded (Fig. 7-style histogram)."""
+        counts = np.bincount(self.bounds, minlength=len(BOUND_NAMES))
+        return {name: int(counts[code]) for code, name in enumerate(BOUND_NAMES)}
+
+    def total(self) -> BlockTime:
+        """The aggregate :class:`BlockTime` of the whole schedule.
+
+        Float components are accumulated *sequentially in schedule
+        order* — the same additions, in the same order, as the scalar
+        walk's ``total = total + block_time(...)`` chain — so the result
+        is bit-identical to it, not merely close.
+        """
+        seconds = compute_s = ext_s = int_s = 0.0
+        per_block = zip(
+            self.seconds.tolist(),
+            self.compute_seconds.tolist(),
+            self.external_seconds.tolist(),
+            self.internal_seconds.tolist(),
+        )
+        for sec, comp, ext, internal in per_block:
+            seconds += sec
+            compute_s += comp
+            ext_s += ext
+            int_s += internal
+        return BlockTime(
+            seconds=seconds,
+            compute_seconds=compute_s,
+            external_seconds=ext_s,
+            internal_seconds=int_s,
+            bound=_dominant_bound(compute_s, ext_s, int_s),
+        )
+
+
+def block_times_batch(
+    machine: MachineSpec,
+    *,
+    active_cores: np.ndarray,
+    tile_cycles: np.ndarray,
+    kc: int,
+    ext_bytes: np.ndarray,
+    int_elements: np.ndarray,
+) -> BlockTimesBatch:
+    """Price every block of a schedule in one shot.
+
+    Vectorized :func:`block_time`: the four parameters become equal-length
+    arrays (one entry per block). Arithmetic is the same sequence of IEEE
+    operations as the scalar function, applied elementwise, and the bound
+    classification uses the same equality tests in the same priority
+    order — per-block results are bit-for-bit identical.
+
+    ``active_cores`` typically takes only a handful of distinct values
+    (full waves plus a ragged tail), so the internal-bandwidth curve is
+    evaluated once per distinct count through the exact scalar method.
+    """
+    require_positive("kc", kc)
+    compute_s = tile_cycles / machine.tile_ops_per_second(kc)
+    ext_s = (
+        ext_bytes * machine.external_traffic_factor / machine.dram_bytes_per_second
+    )
+    int_bytes = (
+        int_elements * machine.element_bytes * machine.internal_traffic_factor
+    )
+    internal_bps = np.empty(len(int_bytes), dtype=np.float64)
+    for cores in np.unique(active_cores).tolist():
+        require_positive("active_cores", cores)
+        internal_bps[active_cores == cores] = machine.internal_bytes_per_second(
+            int(cores)
+        )
+    int_s = int_bytes / internal_bps
+
+    seconds = np.maximum(np.maximum(compute_s, ext_s), int_s)
+    bounds = np.where(
+        seconds == compute_s, 0, np.where(seconds == ext_s, 1, 2)
+    ).astype(np.int8)
+    return BlockTimesBatch(
+        seconds=seconds,
+        compute_seconds=compute_s,
+        external_seconds=ext_s,
+        internal_seconds=int_s,
+        bounds=bounds,
     )

@@ -11,18 +11,28 @@ IO each order implies is counted exactly by :mod:`repro.schedule.reuse`.
 """
 
 from repro.schedule.space import BlockCoord, BlockGrid, ComputationSpace
-from repro.schedule.kfirst import kfirst_schedule
+from repro.schedule.kfirst import OrderArrays, kfirst_order_arrays, kfirst_schedule
 from repro.schedule.variants import (
+    ORDER_ARRAY_BUILDERS,
     SCHEDULE_BUILDERS,
+    build_order_arrays,
     build_schedule,
+    mfirst_order_arrays,
     mfirst_schedule,
-    nfirst_schedule,
+    naive_order_arrays,
     naive_schedule,
+    nfirst_order_arrays,
+    nfirst_schedule,
 )
 from repro.schedule.reuse import (
     ReuseReport,
     SurfaceResidency,
     analyze_reuse,
+    analyze_reuse_batch,
+    encode_surface_ids,
+    occurrence_index,
+    surface_lru_replay,
+    validate_order_arrays,
     validate_schedule,
 )
 
@@ -30,14 +40,26 @@ __all__ = [
     "BlockCoord",
     "BlockGrid",
     "ComputationSpace",
+    "OrderArrays",
+    "kfirst_order_arrays",
     "kfirst_schedule",
+    "ORDER_ARRAY_BUILDERS",
     "SCHEDULE_BUILDERS",
+    "build_order_arrays",
     "build_schedule",
+    "mfirst_order_arrays",
     "mfirst_schedule",
-    "nfirst_schedule",
+    "naive_order_arrays",
     "naive_schedule",
+    "nfirst_order_arrays",
+    "nfirst_schedule",
     "ReuseReport",
     "SurfaceResidency",
     "analyze_reuse",
+    "analyze_reuse_batch",
+    "encode_surface_ids",
+    "occurrence_index",
+    "surface_lru_replay",
+    "validate_order_arrays",
     "validate_schedule",
 ]

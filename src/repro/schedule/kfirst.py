@@ -21,7 +21,10 @@ automatically unless overridden.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Literal
+
+import numpy as np
 
 from repro.schedule.space import BlockCoord, BlockGrid
 
@@ -71,6 +74,85 @@ def kfirst_schedule(
     else:
         raise ValueError(f"outer must be 'auto', 'n' or 'm', got {outer!r}")
     return order
+
+
+@dataclass(frozen=True)
+class OrderArrays:
+    """A block schedule as three parallel coordinate arrays.
+
+    ``(mi[i], ni[i], ki[i])`` is the i-th scheduled block — the same
+    sequence the corresponding ``list[BlockCoord]`` builder produces, but
+    enumerable in one shot and indexable into
+    :meth:`~repro.schedule.space.BlockGrid.size_arrays` gathers. This is
+    the structure-of-arrays form the batch analyzer walks.
+    """
+
+    mi: np.ndarray
+    ni: np.ndarray
+    ki: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.mi)
+
+    def coords(self) -> list[BlockCoord]:
+        """Materialise as the scalar builders' ``list[BlockCoord]``."""
+        return [
+            BlockCoord(int(m), int(n), int(k))
+            for m, n, k in zip(self.mi, self.ni, self.ki)
+        ]
+
+
+def _boustrophedon_arrays(
+    outer_count: int, middle_count: int, inner_count: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays of the generic three-loop boustrophedon nest.
+
+    The outer loop ascends; the middle loop ascends iff the outer index
+    is even; the inner loop ascends iff (outer + middle) is even —
+    exactly the flip rule of Algorithm 2, computed as one broadcast.
+    Returns flat arrays of shape ``(outer*middle*inner,)`` in nest order.
+    """
+    shape = (outer_count, middle_count, inner_count)
+    outer = np.arange(outer_count, dtype=np.int64)
+    mid_fwd = np.arange(middle_count, dtype=np.int64)
+    middle = np.where(
+        (outer % 2 == 0)[:, None], mid_fwd[None, :], mid_fwd[::-1][None, :]
+    )
+    inner_fwd = np.arange(inner_count, dtype=np.int64)
+    inner_asc = (middle + outer[:, None]) % 2 == 0
+    inner = np.where(
+        inner_asc[:, :, None],
+        inner_fwd[None, None, :],
+        inner_fwd[::-1][None, None, :],
+    )
+    return (
+        np.broadcast_to(outer[:, None, None], shape).reshape(-1),
+        np.broadcast_to(middle[:, :, None], shape).reshape(-1),
+        inner.reshape(-1),
+    )
+
+
+def kfirst_order_arrays(
+    grid: BlockGrid,
+    *,
+    outer: Literal["auto", "n", "m"] = "auto",
+) -> OrderArrays:
+    """Algorithm 2's block order as coordinate arrays.
+
+    Element-for-element identical to :func:`kfirst_schedule` (asserted
+    by tests and hypothesis), but produced by one vectorized broadcast
+    instead of a three-deep Python loop — the enumeration half of the
+    batch analyzer's fast path.
+    """
+    if outer == "auto":
+        outer = "n" if grid.space.n >= grid.space.m else "m"
+    if outer == "n":
+        ni, mi, ki = _boustrophedon_arrays(grid.nb, grid.mb, grid.kb)
+    elif outer == "m":
+        mi, ni, ki = _boustrophedon_arrays(grid.mb, grid.nb, grid.kb)
+    else:
+        raise ValueError(f"outer must be 'auto', 'n' or 'm', got {outer!r}")
+    return OrderArrays(mi=mi, ni=ni, ki=ki)
 
 
 def kfirst_runs(

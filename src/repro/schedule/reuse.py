@@ -34,11 +34,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable
+
+import numpy as np
 
 from repro.errors import ScheduleError
 from repro.schedule.space import BlockCoord, BlockGrid
 from repro.util import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schedule.kfirst import OrderArrays
 
 
 @dataclass(slots=True)
@@ -294,4 +299,247 @@ def _analyze_reuse_lru(
             report.io_c_final += ext.surface_c
             residency.invalidate(c_key)
 
+    return report
+
+
+# -- batched (structure-of-arrays) analysis ----------------------------------
+
+
+def occurrence_index(keys: np.ndarray) -> np.ndarray:
+    """0-based occurrence counter per element of ``keys``.
+
+    ``occurrence_index(k)[i]`` is how many earlier positions hold the
+    same key — the vectorized form of the scalar walks' ``progress``
+    dict (one stable argsort instead of N dict updates).
+    """
+    n = len(keys)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    idx = np.arange(n, dtype=np.int64)
+    first = np.ones(n, dtype=bool)
+    first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    occ_sorted = idx - np.maximum.accumulate(np.where(first, idx, 0))
+    occ = np.empty(n, dtype=np.int64)
+    occ[order] = occ_sorted
+    return occ
+
+
+def validate_order_arrays(grid: BlockGrid, order: "OrderArrays") -> None:
+    """Raise :class:`ScheduleError` unless ``order`` covers every block once.
+
+    Vectorized counterpart of :func:`validate_schedule`: one bincount
+    over linearised coordinates replaces the per-coord set bookkeeping.
+    """
+    mi, ni, ki = order.mi, order.ni, order.ki
+    if not (len(mi) == len(ni) == len(ki)):
+        raise ScheduleError("order arrays must have equal lengths")
+    if len(mi) == 0:
+        raise ScheduleError(f"schedule covers 0 of {grid.num_blocks} blocks in the grid")
+    for name, arr, count in (("mi", mi, grid.mb), ("ni", ni, grid.nb), ("ki", ki, grid.kb)):
+        if int(arr.min()) < 0 or int(arr.max()) >= count:
+            raise ScheduleError(f"{name} coordinates outside grid of {count} blocks")
+    linear = (mi * grid.nb + ni) * grid.kb + ki
+    counts = np.bincount(linear, minlength=grid.num_blocks)
+    if counts.max(initial=0) > 1:
+        raise ScheduleError("a block is scheduled more than once")
+    covered = int((counts > 0).sum())
+    if covered != grid.num_blocks or len(mi) != grid.num_blocks:
+        raise ScheduleError(
+            f"schedule covers {covered} of {grid.num_blocks} blocks in the grid"
+        )
+
+
+def surface_lru_replay(
+    a_ids: list[int],
+    b_ids: list[int],
+    c_ids: list[int],
+    a_sizes: list[int],
+    b_sizes: list[int],
+    c_sizes: list[int],
+    c_final: list[bool],
+    capacity_elements: int,
+    c_base: int,
+) -> tuple[bytearray, bytearray, bytearray, int]:
+    """Grouped replay of :class:`SurfaceResidency` over a whole schedule.
+
+    The same technique as :mod:`repro.memsim.vectorized`: precompute the
+    entire touch stream as flat integer arrays, then run one tight loop
+    whose state transitions are exactly ``touch(a) / touch(b) / touch(c)
+    / invalidate-on-completion`` per block — an insertion-ordered dict
+    stands in for the ``OrderedDict``, and eviction scans oldest-first
+    skipping the three pinned (current-block) keys, matching
+    ``SurfaceResidency._evict_to_fit`` decision-for-decision.
+
+    ``*_ids`` are disjoint integer key ranges (C keys at ``>= c_base``
+    so evictions of partial results can be attributed); ``c_final[i]``
+    marks block ``i`` as the last touch of its C surface, after which
+    the surface is invalidated exactly as the scalar walks do. Returns
+    per-block hit flags for the three surfaces plus the total elements
+    of partial-C surfaces evicted by capacity pressure (spills).
+    """
+    require_positive("capacity_elements", capacity_elements)
+    n = len(a_ids)
+    a_hit = bytearray(n)
+    b_hit = bytearray(n)
+    c_hit = bytearray(n)
+    entries: dict[int, int] = {}
+    pop = entries.pop
+    used = 0
+    spill = 0
+    touches = zip(a_ids, b_ids, c_ids, a_sizes, b_sizes, c_sizes, c_final)
+    for i, (a, b, c, size_a, size_b, size_c, final) in enumerate(touches):
+        size = pop(a, None)
+        if size is None:
+            size = size_a
+            entries[a] = size
+            used += size
+            while used > capacity_elements:
+                victim = -1
+                for key in entries:
+                    if key != a and key != b and key != c:
+                        victim = key
+                        break
+                if victim < 0:
+                    break
+                evicted = pop(victim)
+                used -= evicted
+                if victim >= c_base:
+                    spill += evicted
+        else:
+            entries[a] = size
+            a_hit[i] = 1
+
+        size = pop(b, None)
+        if size is None:
+            size = size_b
+            entries[b] = size
+            used += size
+            while used > capacity_elements:
+                victim = -1
+                for key in entries:
+                    if key != a and key != b and key != c:
+                        victim = key
+                        break
+                if victim < 0:
+                    break
+                evicted = pop(victim)
+                used -= evicted
+                if victim >= c_base:
+                    spill += evicted
+        else:
+            entries[b] = size
+            b_hit[i] = 1
+
+        size = pop(c, None)
+        if size is None:
+            size = size_c
+            entries[c] = size
+            used += size
+            while used > capacity_elements:
+                victim = -1
+                for key in entries:
+                    if key != a and key != b and key != c:
+                        victim = key
+                        break
+                if victim < 0:
+                    break
+                evicted = pop(victim)
+                used -= evicted
+                if victim >= c_base:
+                    spill += evicted
+        else:
+            entries[c] = size
+            c_hit[i] = 1
+
+        if final:
+            used -= pop(c)
+    return a_hit, b_hit, c_hit, spill
+
+
+def encode_surface_ids(
+    grid: BlockGrid, order: "OrderArrays"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Disjoint integer key ranges for the A/B/C surfaces of an order.
+
+    Returns ``(a_ids, b_ids, c_ids, c_base)`` with A keys in
+    ``[0, mb*kb)``, B keys in ``[mb*kb, mb*kb + kb*nb)`` and C keys at
+    ``>= c_base`` — the integer analogue of the engines' tuple keys.
+    """
+    b_base = grid.mb * grid.kb
+    c_base = b_base + grid.kb * grid.nb
+    a_ids = order.mi * grid.kb + order.ki
+    b_ids = b_base + order.ki * grid.nb + order.ni
+    c_ids = c_base + order.mi * grid.nb + order.ni
+    return a_ids, b_ids, c_ids, c_base
+
+
+def analyze_reuse_batch(
+    grid: BlockGrid,
+    order: "OrderArrays",
+    *,
+    capacity_elements: int | None = None,
+) -> ReuseReport:
+    """Batched :func:`analyze_reuse`: identical tallies, no per-block loop.
+
+    The adjacency model collapses to shifted-array comparisons plus a
+    segment pass over the C-surface key stream; the capacity model runs
+    :func:`surface_lru_replay`. Both are equal to the scalar analyzer
+    field-for-field for any valid order (hypothesis-asserted in tests).
+    """
+    validate_order_arrays(grid, order)
+    mi, ni, ki = order.mi, order.ni, order.ki
+    n = len(mi)
+    sa, sb, sc = grid.surface_arrays(mi, ni, ki)
+    c_keys = mi * grid.nb + ni
+    occ = occurrence_index(c_keys)
+
+    report = ReuseReport(blocks=n)
+    if capacity_elements is None:
+        same_a = np.zeros(n, dtype=bool)
+        same_a[1:] = (mi[1:] == mi[:-1]) & (ki[1:] == ki[:-1])
+        same_b = np.zeros(n, dtype=bool)
+        same_b[1:] = (ki[1:] == ki[:-1]) & (ni[1:] == ni[:-1])
+        seg_start = np.ones(n, dtype=bool)
+        seg_start[1:] = c_keys[1:] != c_keys[:-1]
+        seg_end = np.ones(n, dtype=bool)
+        seg_end[:-1] = seg_start[1:]
+        completed = (occ + 1) >= grid.kb
+
+        report.reuse_a = int(same_a.sum())
+        report.io_a = int(sa[~same_a].sum())
+        report.reuse_b = int(same_b.sum())
+        report.io_b = int(sb[~same_b].sum())
+        report.reuse_c = int(n - seg_start.sum())
+        report.io_c_refetch = int(sc[seg_start & (occ > 0)].sum())
+        report.io_c_final = int(sc[seg_end & completed].sum())
+        report.io_c_spill = int(sc[seg_end & ~completed].sum())
+        return report
+
+    a_ids, b_ids, c_ids, c_base = encode_surface_ids(grid, order)
+    final = occ == grid.kb - 1
+    a_hit_raw, b_hit_raw, c_hit_raw, spill = surface_lru_replay(
+        a_ids.tolist(),
+        b_ids.tolist(),
+        c_ids.tolist(),
+        sa.tolist(),
+        sb.tolist(),
+        sc.tolist(),
+        final.tolist(),
+        capacity_elements,
+        c_base,
+    )
+    a_hit = np.frombuffer(a_hit_raw, dtype=np.uint8).astype(bool)
+    b_hit = np.frombuffer(b_hit_raw, dtype=np.uint8).astype(bool)
+    c_hit = np.frombuffer(c_hit_raw, dtype=np.uint8).astype(bool)
+
+    report.reuse_a = int(a_hit.sum())
+    report.io_a = int(sa[~a_hit].sum())
+    report.reuse_b = int(b_hit.sum())
+    report.io_b = int(sb[~b_hit].sum())
+    report.reuse_c = int((c_hit & (occ > 0)).sum())
+    report.io_c_refetch = int(sc[~c_hit & (occ > 0)].sum())
+    report.io_c_final = int(sc[final].sum())
+    report.io_c_spill = spill
     return report

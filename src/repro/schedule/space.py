@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.core.cb_block import CBBlock
 from repro.util import require_positive, split_length
 
@@ -121,6 +123,42 @@ class BlockGrid:
             for ni in range(self.nb):
                 for ki in range(self.kb):
                     yield BlockCoord(mi, ni, ki)
+
+    # -- batched geometry ----------------------------------------------------
+
+    def size_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Block extents along each dimension as int64 arrays.
+
+        ``size_arrays()[0][mi]`` equals ``extent(BlockCoord(mi, ·, ·)).m``
+        — one gather per axis replaces the per-block ``extent()`` calls of
+        the scalar walk.
+        """
+        return (
+            np.asarray(self._m_sizes, dtype=np.int64),
+            np.asarray(self._n_sizes, dtype=np.int64),
+            np.asarray(self._k_sizes, dtype=np.int64),
+        )
+
+    def offset_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Block element origins along each dimension as int64 arrays."""
+        return (
+            np.asarray(self._m_offsets, dtype=np.int64),
+            np.asarray(self._n_offsets, dtype=np.int64),
+            np.asarray(self._k_offsets, dtype=np.int64),
+        )
+
+    def surface_arrays(
+        self, mi: np.ndarray, ni: np.ndarray, ki: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-block IO surfaces ``(A, B, C)`` in elements, for an order.
+
+        ``mi/ni/ki`` are coordinate arrays (one entry per scheduled
+        block); the result matches ``extent(coord).surface_a`` (and b, c)
+        element-wise.
+        """
+        m_sizes, n_sizes, k_sizes = self.size_arrays()
+        em, en, ek = m_sizes[mi], n_sizes[ni], k_sizes[ki]
+        return em * ek, ek * en, em * en
 
     def _check(self, coord: BlockCoord) -> None:
         if not (

@@ -17,7 +17,15 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.schedule.kfirst import kfirst_schedule, _swept
+import numpy as np
+
+from repro.schedule.kfirst import (
+    OrderArrays,
+    _boustrophedon_arrays,
+    _swept,
+    kfirst_order_arrays,
+    kfirst_schedule,
+)
 from repro.schedule.space import BlockCoord, BlockGrid
 
 
@@ -65,6 +73,57 @@ def nfirst_schedule(grid: BlockGrid) -> list[BlockCoord]:
             for ni in _swept(grid.nb, (ki + mi) % 2 == 0):
                 order.append(BlockCoord(mi, ni, ki))
     return order
+
+
+def naive_order_arrays(grid: BlockGrid) -> OrderArrays:
+    """:func:`naive_schedule` as coordinate arrays (one meshgrid)."""
+    if grid.space.n >= grid.space.m:
+        ni, mi, ki = np.meshgrid(
+            np.arange(grid.nb, dtype=np.int64),
+            np.arange(grid.mb, dtype=np.int64),
+            np.arange(grid.kb, dtype=np.int64),
+            indexing="ij",
+        )
+    else:
+        mi, ni, ki = np.meshgrid(
+            np.arange(grid.mb, dtype=np.int64),
+            np.arange(grid.nb, dtype=np.int64),
+            np.arange(grid.kb, dtype=np.int64),
+            indexing="ij",
+        )
+    return OrderArrays(mi=mi.reshape(-1), ni=ni.reshape(-1), ki=ki.reshape(-1))
+
+
+def mfirst_order_arrays(grid: BlockGrid) -> OrderArrays:
+    """:func:`mfirst_schedule` as coordinate arrays."""
+    ni, ki, mi = _boustrophedon_arrays(grid.nb, grid.kb, grid.mb)
+    return OrderArrays(mi=mi, ni=ni, ki=ki)
+
+
+def nfirst_order_arrays(grid: BlockGrid) -> OrderArrays:
+    """:func:`nfirst_schedule` as coordinate arrays."""
+    mi, ki, ni = _boustrophedon_arrays(grid.mb, grid.kb, grid.nb)
+    return OrderArrays(mi=mi, ni=ni, ki=ki)
+
+
+#: Vectorized counterparts of :data:`SCHEDULE_BUILDERS`, by the same names.
+ORDER_ARRAY_BUILDERS: dict[str, Callable[[BlockGrid], OrderArrays]] = {
+    "k-first": kfirst_order_arrays,
+    "naive": naive_order_arrays,
+    "m-first": mfirst_order_arrays,
+    "n-first": nfirst_order_arrays,
+}
+
+
+def build_order_arrays(name: str, grid: BlockGrid) -> OrderArrays:
+    """Build a named schedule's coordinate arrays (vectorized)."""
+    try:
+        builder = ORDER_ARRAY_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule {name!r}; available: {sorted(ORDER_ARRAY_BUILDERS)}"
+        ) from None
+    return builder(grid)
 
 
 SCHEDULE_BUILDERS: dict[str, Callable[[BlockGrid], list[BlockCoord]]] = {

@@ -81,3 +81,31 @@ class TestGotoPlan:
         small = GotoPlan.from_problem(intel, ComputationSpace(100, 100, 100))
         large = GotoPlan.from_problem(intel, SPACE)
         assert (small.mc, small.nc) == (large.mc, large.nc)
+
+
+class TestPlanMemo:
+    def test_cake_repeat_derivation_is_cache_hit(self, intel):
+        """Identical (machine, space, cores, alpha) returns the same
+        instance — plan_for() + analyze() must not re-run the alpha scan."""
+        first = CakePlan.from_problem(intel, SPACE)
+        assert CakePlan.from_problem(intel, SPACE) is first
+        assert CakePlan.from_problem(intel, SPACE, cores=intel.cores) is first
+        assert CakePlan.from_problem(intel, SPACE, alpha=2.0) is not first
+        assert (
+            CakePlan.from_problem(intel, SPACE, alpha=2.0)
+            is CakePlan.from_problem(intel, SPACE, alpha=2.0)
+        )
+
+    def test_goto_repeat_derivation_is_cache_hit(self, intel):
+        first = GotoPlan.from_problem(intel, SPACE)
+        assert GotoPlan.from_problem(intel, SPACE) is first
+        assert GotoPlan.from_problem(intel, SPACE, cores=intel.cores) is first
+
+    def test_distinct_keys_get_distinct_plans(self, intel, amd):
+        base = CakePlan.from_problem(intel, SPACE)
+        assert CakePlan.from_problem(amd, SPACE) is not base
+        assert (
+            CakePlan.from_problem(intel, ComputationSpace(64, 64, 64))
+            is not base
+        )
+        assert CakePlan.from_problem(intel, SPACE, cores=2) is not base

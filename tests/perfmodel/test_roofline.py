@@ -1,10 +1,11 @@
 """Tests for the per-block roofline pricing."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.perfmodel import block_time
-from repro.perfmodel.roofline import ZERO_TIME
+from repro.perfmodel.roofline import ZERO_TIME, block_times_batch
 
 
 class TestBlockTime:
@@ -82,6 +83,31 @@ class TestBlockTime:
         assert total.seconds == pytest.approx(2 * bt.seconds)
         assert total.compute_seconds == pytest.approx(2 * bt.compute_seconds)
 
+    def test_addition_bound_is_argmax_of_sums(self):
+        """Regression: the aggregate bound must come from the *summed*
+        per-resource demand, not from whichever operand was added last.
+
+        Two external-bound blocks plus one larger compute-bound block:
+        external demand dominates the sum (6.0s vs 5.0s) even though the
+        biggest single block — and the last one added — is compute-bound.
+        """
+        from repro.perfmodel.roofline import BlockTime
+
+        external = BlockTime(
+            seconds=3.0, compute_seconds=0.5, external_seconds=3.0,
+            internal_seconds=0.1, bound="external",
+        )
+        compute = BlockTime(
+            seconds=4.0, compute_seconds=4.0, external_seconds=0.0,
+            internal_seconds=0.0, bound="compute",
+        )
+        total = ZERO_TIME + external + external + compute
+        assert total.external_seconds == pytest.approx(6.0)
+        assert total.compute_seconds == pytest.approx(5.0)
+        assert total.bound == "external"
+        # The mirror image: repeated compute demand dominates.
+        assert (ZERO_TIME + compute + compute + external).bound == "compute"
+
     def test_rejects_bad_args(self, intel):
         with pytest.raises(ValueError):
             block_time(
@@ -109,3 +135,79 @@ class TestBlockTime:
         assert bt.seconds == pytest.approx(
             max(bt.compute_seconds, bt.external_seconds, bt.internal_seconds)
         )
+
+
+class TestBlockTimesBatch:
+    def _pricing_inputs(self, rng, n=64):
+        return {
+            "active_cores": rng.integers(1, 11, size=n),
+            "tile_cycles": rng.integers(1, 10**7, size=n).astype(float),
+            "ext_bytes": rng.integers(0, 10**8, size=n),
+            "int_elements": rng.integers(0, 10**7, size=n),
+        }
+
+    def test_per_block_values_match_scalar(self, machine, rng):
+        inputs = self._pricing_inputs(rng)
+        batch = block_times_batch(machine, kc=192, **inputs)
+        for i in range(len(batch)):
+            bt = block_time(
+                machine,
+                active_cores=int(inputs["active_cores"][i]),
+                tile_cycles=float(inputs["tile_cycles"][i]),
+                kc=192,
+                ext_bytes=int(inputs["ext_bytes"][i]),
+                int_elements=int(inputs["int_elements"][i]),
+            )
+            assert batch.seconds[i] == bt.seconds
+            assert batch.compute_seconds[i] == bt.compute_seconds
+            assert batch.external_seconds[i] == bt.external_seconds
+            assert batch.internal_seconds[i] == bt.internal_seconds
+            assert batch.bounds[i] == {
+                "compute": 0, "external": 1, "internal": 2,
+            }[bt.bound]
+
+    def test_total_matches_sequential_accumulation(self, intel, rng):
+        """total() reproduces the scalar ``total = total + bt`` chain
+        bit for bit, including the aggregate bound."""
+        inputs = self._pricing_inputs(rng)
+        batch = block_times_batch(intel, kc=192, **inputs)
+        total = ZERO_TIME
+        for i in range(len(batch)):
+            total = total + block_time(
+                intel,
+                active_cores=int(inputs["active_cores"][i]),
+                tile_cycles=float(inputs["tile_cycles"][i]),
+                kc=192,
+                ext_bytes=int(inputs["ext_bytes"][i]),
+                int_elements=int(inputs["int_elements"][i]),
+            )
+        got = batch.total()
+        assert got.seconds == total.seconds
+        assert got.compute_seconds == total.compute_seconds
+        assert got.external_seconds == total.external_seconds
+        assert got.internal_seconds == total.internal_seconds
+        assert got.bound == total.bound
+
+    def test_bound_tallies(self, intel):
+        batch = block_times_batch(
+            intel,
+            active_cores=np.array([1, 1, 1]),
+            tile_cycles=np.array([1e9, 1.0, 1.0]),
+            kc=192,
+            ext_bytes=np.array([0, 10**10, 0]),
+            int_elements=np.array([0, 0, 10**10]),
+        )
+        assert batch.bound_tallies() == {
+            "compute": 1, "external": 1, "internal": 1,
+        }
+
+    def test_rejects_nonpositive_cores(self, intel):
+        with pytest.raises(ValueError):
+            block_times_batch(
+                intel,
+                active_cores=np.array([1, 0]),
+                tile_cycles=np.array([1.0, 1.0]),
+                kc=192,
+                ext_bytes=np.array([0, 0]),
+                int_elements=np.array([0, 0]),
+            )

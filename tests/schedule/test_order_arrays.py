@@ -1,0 +1,196 @@
+"""Vectorized schedule enumeration and the batched reuse analyzer.
+
+Every array builder must reproduce its scalar builder's block sequence
+element for element, and :func:`analyze_reuse_batch` must match
+:func:`analyze_reuse` field for field — under both residency models, for
+every schedule variant, on remainder-heavy grids (prime dimensions leave
+a ragged block on all three axes, the hardest case for closed forms).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cb_block import CBBlock
+from repro.errors import ScheduleError
+from repro.schedule import (
+    ORDER_ARRAY_BUILDERS,
+    SCHEDULE_BUILDERS,
+    BlockGrid,
+    ComputationSpace,
+    analyze_reuse,
+    analyze_reuse_batch,
+    build_order_arrays,
+    build_schedule,
+    kfirst_order_arrays,
+    kfirst_schedule,
+    occurrence_index,
+    validate_order_arrays,
+)
+
+VARIANTS = sorted(SCHEDULE_BUILDERS)
+
+
+def _grid(m, n, k, bm, bn, bk):
+    return BlockGrid(ComputationSpace(m, n, k), CBBlock(m=bm, n=bn, k=bk))
+
+
+GRIDS = [
+    _grid(8, 8, 8, 4, 4, 4),        # uniform
+    _grid(97, 53, 31, 16, 16, 8),   # prime extents: ragged on all axes
+    _grid(5, 40, 3, 2, 7, 2),       # M < N and K smaller than one block
+    _grid(40, 5, 12, 7, 2, 5),      # M > N flips the outer loop
+    _grid(6, 6, 6, 9, 9, 9),        # single block
+    _grid(1, 1, 17, 1, 1, 4),       # degenerate: K-only grid
+]
+
+
+def _report_fields(report):
+    return {
+        name: getattr(report, name)
+        for name in (
+            "io_a", "io_b", "io_c_spill", "io_c_refetch", "io_c_final",
+            "reuse_a", "reuse_b", "reuse_c", "blocks",
+        )
+    }
+
+
+class TestOrderArrays:
+    @pytest.mark.parametrize("grid", GRIDS)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_matches_scalar_builder(self, grid, variant):
+        assert (
+            build_order_arrays(variant, grid).coords()
+            == build_schedule(variant, grid)
+        )
+
+    @pytest.mark.parametrize("grid", GRIDS)
+    @pytest.mark.parametrize("outer", ["n", "m"])
+    def test_kfirst_outer_override(self, grid, outer):
+        assert (
+            kfirst_order_arrays(grid, outer=outer).coords()
+            == kfirst_schedule(grid, outer=outer)
+        )
+
+    def test_builders_cover_same_names(self):
+        assert sorted(ORDER_ARRAY_BUILDERS) == VARIANTS
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            build_order_arrays("zigzag", GRIDS[0])
+
+    @given(
+        st.integers(1, 40), st.integers(1, 40), st.integers(1, 40),
+        st.integers(1, 12), st.integers(1, 12), st.integers(1, 12),
+    )
+    def test_matches_scalar_builder_hypothesis(self, m, n, k, bm, bn, bk):
+        grid = _grid(m, n, k, bm, bn, bk)
+        for variant in VARIANTS:
+            assert (
+                build_order_arrays(variant, grid).coords()
+                == build_schedule(variant, grid)
+            )
+
+
+class TestValidateOrderArrays:
+    def test_accepts_every_variant(self):
+        for grid in GRIDS:
+            for variant in VARIANTS:
+                validate_order_arrays(grid, build_order_arrays(variant, grid))
+
+    def test_rejects_duplicate_block(self):
+        grid = GRIDS[0]
+        order = kfirst_order_arrays(grid)
+        mi = order.mi.copy()
+        mi[-1] = mi[0]
+        ni = order.ni.copy()
+        ni[-1] = ni[0]
+        ki = order.ki.copy()
+        ki[-1] = ki[0]
+        broken = type(order)(mi=mi, ni=ni, ki=ki)
+        with pytest.raises(ScheduleError):
+            validate_order_arrays(grid, broken)
+
+    def test_rejects_truncated_schedule(self):
+        grid = GRIDS[0]
+        order = kfirst_order_arrays(grid)
+        short = type(order)(mi=order.mi[:-1], ni=order.ni[:-1], ki=order.ki[:-1])
+        with pytest.raises(ScheduleError, match="covers"):
+            validate_order_arrays(grid, short)
+
+    def test_rejects_out_of_range_coordinate(self):
+        grid = GRIDS[0]
+        order = kfirst_order_arrays(grid)
+        mi = order.mi.copy()
+        mi[0] = grid.mb
+        with pytest.raises(ScheduleError, match="outside"):
+            validate_order_arrays(grid, type(order)(mi=mi, ni=order.ni, ki=order.ki))
+
+
+class TestOccurrenceIndex:
+    def test_matches_progress_dict(self):
+        keys = np.array([3, 1, 3, 3, 1, 2, 3, 2])
+        progress: dict[int, int] = {}
+        expected = []
+        for key in keys.tolist():
+            expected.append(progress.get(key, 0))
+            progress[key] = progress.get(key, 0) + 1
+        assert occurrence_index(keys).tolist() == expected
+
+    def test_empty(self):
+        assert len(occurrence_index(np.array([], dtype=np.int64))) == 0
+
+
+class TestAnalyzeReuseBatch:
+    @pytest.mark.parametrize("grid", GRIDS)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_adjacency_model_matches_scalar(self, grid, variant):
+        scalar = analyze_reuse(grid, build_schedule(variant, grid))
+        batch = analyze_reuse_batch(grid, build_order_arrays(variant, grid))
+        assert _report_fields(batch) == _report_fields(scalar)
+
+    @pytest.mark.parametrize("grid", GRIDS)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("budget_blocks", [0.5, 1.5, 4.0])
+    def test_capacity_model_matches_scalar(self, grid, variant, budget_blocks):
+        """LRU replay equals SurfaceResidency at tight and slack budgets."""
+        nominal = grid.nominal
+        footprint = nominal.m * nominal.n + 2 * (
+            nominal.m * nominal.k + nominal.k * nominal.n
+        )
+        capacity = max(int(footprint * budget_blocks), 1)
+        scalar = analyze_reuse(
+            grid, build_schedule(variant, grid), capacity_elements=capacity
+        )
+        batch = analyze_reuse_batch(
+            grid,
+            build_order_arrays(variant, grid),
+            capacity_elements=capacity,
+        )
+        assert _report_fields(batch) == _report_fields(scalar)
+
+    @given(
+        st.integers(1, 30), st.integers(1, 30), st.integers(1, 30),
+        st.integers(1, 10), st.integers(1, 10), st.integers(1, 10),
+        st.sampled_from(VARIANTS),
+        st.floats(0.3, 5.0),
+    )
+    def test_both_models_match_scalar_hypothesis(
+        self, m, n, k, bm, bn, bk, variant, budget_blocks
+    ):
+        grid = _grid(m, n, k, bm, bn, bk)
+        order = build_schedule(variant, grid)
+        arrays = build_order_arrays(variant, grid)
+        assert _report_fields(
+            analyze_reuse_batch(grid, arrays)
+        ) == _report_fields(analyze_reuse(grid, order))
+        nominal = grid.nominal
+        footprint = nominal.m * nominal.n + 2 * (
+            nominal.m * nominal.k + nominal.k * nominal.n
+        )
+        capacity = max(int(footprint * budget_blocks), 1)
+        assert _report_fields(
+            analyze_reuse_batch(grid, arrays, capacity_elements=capacity)
+        ) == _report_fields(
+            analyze_reuse(grid, order, capacity_elements=capacity)
+        )
