@@ -67,6 +67,7 @@ def scaling_series(
     }
 
     if runtime is not None:
+        from repro.runtime.outcome import ensure_rows
         from repro.runtime.task import (
             ExperimentTask,
             machine_key,
@@ -74,15 +75,19 @@ def scaling_series(
         )
 
         key = machine_key(machine)
-        rows = runtime.run(
-            [
-                ExperimentTask(
-                    kind="predict", engine=engine, machine=key,
-                    m=n, n=n, k=n, extrapolate_cores=cores,
-                )
-                for cores in core_counts
-                for engine in ("cake", "goto")
-            ]
+        # ensure_rows unwraps collect-mode RunReports and raises
+        # IncompleteRunError when any core count permanently failed.
+        rows = ensure_rows(
+            runtime.run(
+                [
+                    ExperimentTask(
+                        kind="predict", engine=engine, machine=key,
+                        m=n, n=n, k=n, extrapolate_cores=cores,
+                    )
+                    for cores in core_counts
+                    for engine in ("cake", "goto")
+                ]
+            )
         )
         predictions = {
             (row["extrapolate_cores"], row["engine"]): prediction_from_row(row)

@@ -60,17 +60,22 @@ def speedup_series(
     max_cores = machine.cores if max_cores is None else max_cores
     cores = tuple(range(1, max_cores + 1))
     if runtime is not None:
+        from repro.runtime.outcome import ensure_rows
         from repro.runtime.task import ExperimentTask, machine_key
 
         key = machine_key(machine)
-        rows = runtime.run(
-            [
-                ExperimentTask(
-                    kind="predict", engine=engine, machine=key,
-                    m=n, n=n, k=n, cores=p,
-                )
-                for p in cores
-            ]
+        # ensure_rows unwraps collect-mode RunReports and raises
+        # IncompleteRunError when any core count permanently failed.
+        rows = ensure_rows(
+            runtime.run(
+                [
+                    ExperimentTask(
+                        kind="predict", engine=engine, machine=key,
+                        m=n, n=n, k=n, cores=p,
+                    )
+                    for p in cores
+                ]
+            )
         )
         seconds = tuple(row["seconds"] for row in rows)
     elif engine == "cake":

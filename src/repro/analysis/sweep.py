@@ -62,6 +62,7 @@ def relative_throughput_grid(
     ]
     ratio = np.empty((len(k_values), len(m_values)))
     if runtime is not None:
+        from repro.runtime.outcome import ensure_rows
         from repro.runtime.task import ExperimentTask, machine_key
 
         key = machine_key(machine)
@@ -73,7 +74,10 @@ def relative_throughput_grid(
             for _, _, m, n, k in cells
             for engine in ("cake", "goto")
         ]
-        rows = runtime.run(tasks)
+        # A collect-mode runtime hands back a RunReport; the grid needs
+        # every cell, so missing rows surface as IncompleteRunError (the
+        # completed cells are already checkpointed in the cache).
+        rows = ensure_rows(runtime.run(tasks))
         for cell_index, (ki, mi, _, _, _) in enumerate(cells):
             cake_row, goto_row = rows[2 * cell_index], rows[2 * cell_index + 1]
             ratio[ki, mi] = cake_row["gflops"] / goto_row["gflops"]

@@ -311,6 +311,12 @@ def run_experiment(
     A ``runtime`` (:class:`~repro.runtime.executor.ExperimentRuntime`)
     is forwarded to generators that support grid fan-out; experiments
     that are single cells (or predate the runtime) simply ignore it.
+
+    When a collect-mode runtime ends a grid with permanently failed
+    cells, the resulting
+    :class:`~repro.runtime.outcome.IncompleteRunError` is re-raised
+    tagged with this experiment's name; the completed cells are already
+    checkpointed, so a rerun only executes what is missing.
     """
     import inspect
 
@@ -324,5 +330,10 @@ def run_experiment(
             f"unknown experiment {name!r}; available: {sorted(registry)}"
         ) from None
     if runtime is not None and "runtime" in inspect.signature(fn).parameters:
-        return fn(scale, runtime=runtime)
+        from repro.runtime.outcome import IncompleteRunError
+
+        try:
+            return fn(scale, runtime=runtime)
+        except IncompleteRunError as exc:
+            raise IncompleteRunError(exc.report, experiment=name) from exc
     return fn(scale)

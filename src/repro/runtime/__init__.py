@@ -1,4 +1,4 @@
-"""Parallel experiment runtime: grids of figure cells over processes.
+"""Fault-tolerant parallel experiment runtime.
 
 The figure sweeps of the paper — shape contours (Fig. 8), core-count
 speedups (Fig. 9), scaling series (Figs. 10-12), trace profiles
@@ -10,20 +10,46 @@ memoizes completed cells on disk (:class:`~repro.runtime.cache.ResultCache`),
 and emits machine-readable ``BENCH_*.json`` rows
 (:mod:`repro.runtime.jsonout`).
 
+Campaigns are *survivable*: worker exceptions are captured per task in
+:class:`~repro.runtime.outcome.TaskOutcome` envelopes, transient
+failures retry under a deterministic backoff policy
+(:class:`~repro.runtime.executor.RetryPolicy`), crashed or hung pools
+are rebuilt (degrading to inline execution when rebuilding keeps
+failing), completed rows checkpoint to the cache as they finish, and
+``on_error="collect"`` turns a run into a
+:class:`~repro.runtime.outcome.RunReport` instead of an exception. All
+of it is drivable on demand through :mod:`repro.runtime.faults`.
+
 Guarantees the tests pin:
 
-* rows come back in input order, byte-identical for any worker count;
-* a warm cache answers a repeated grid without executing anything;
+* rows come back in input order, byte-identical for any worker count —
+  including runs that retried or recovered along the way;
+* a warm cache answers a repeated grid without executing anything, and
+  an interrupted grid re-executes only its missing cells;
 * task ids are stable content hashes — same cell, same id, any process.
 """
 
-from repro.runtime.cache import CacheStats, ResultCache
-from repro.runtime.executor import ExperimentRuntime, RuntimeStats
+from repro.runtime.cache import CACHE_SCHEMA, CacheStats, ResultCache
+from repro.runtime.executor import ExperimentRuntime, RetryPolicy, RuntimeStats
+from repro.runtime.faults import (
+    FAULT_PLAN_ENV,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
 from repro.runtime.jsonout import (
     BENCH_SCHEMA,
     bench_payload,
     rows_from_report,
     write_bench_json,
+)
+from repro.runtime.outcome import (
+    IncompleteRunError,
+    RunReport,
+    TaskExecutionError,
+    TaskOutcome,
+    ensure_rows,
 )
 from repro.runtime.task import (
     MACHINE_FACTORIES,
@@ -34,14 +60,26 @@ from repro.runtime.task import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA",
     "CacheStats",
     "ResultCache",
     "ExperimentRuntime",
+    "RetryPolicy",
     "RuntimeStats",
+    "FAULT_PLAN_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "BENCH_SCHEMA",
     "bench_payload",
     "rows_from_report",
     "write_bench_json",
+    "IncompleteRunError",
+    "RunReport",
+    "TaskExecutionError",
+    "TaskOutcome",
+    "ensure_rows",
     "MACHINE_FACTORIES",
     "ExperimentTask",
     "machine_key",

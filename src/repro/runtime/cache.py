@@ -6,6 +6,14 @@ parameters — see :class:`~repro.runtime.task.ExperimentTask.task_id`),
 so a cache hit is definitionally the same experiment. Writes are atomic
 (temp file + ``os.replace``) so a crashed or killed run never leaves a
 truncated row for a later run to trip over.
+
+Entries are stored in a versioned envelope —
+``{"schema": "cake-cache/v2", "row": {...}}`` — and an entry whose
+schema is missing or unknown is treated as a miss (then overwritten by
+the fresh store), so old caches upgrade in place without manual
+clearing. A file that fails to parse at all is **quarantined** to
+``<task_id>.corrupt`` rather than deleted: the slot is immediately
+reusable, but the evidence survives for postmortems of what wrote it.
 """
 
 from __future__ import annotations
@@ -17,6 +25,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+#: Version tag stored with every entry. Bump when the envelope (or the
+#: meaning of rows) changes; readers treat any other value as a miss.
+CACHE_SCHEMA = "cake-cache/v2"
+
 
 @dataclass(slots=True)
 class CacheStats:
@@ -26,6 +38,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    stale: int = 0
 
 
 class ResultCache:
@@ -39,30 +52,49 @@ class ResultCache:
     def _path(self, task_id: str) -> Path:
         return self.root / f"{task_id}.json"
 
+    def _quarantine_path(self, task_id: str) -> Path:
+        return self.root / f"{task_id}.corrupt"
+
     def load(self, task_id: str) -> dict[str, Any] | None:
         """The cached row for ``task_id``, or None.
 
-        A corrupt file (interrupted legacy write, stray garbage) counts
-        as a miss and is removed so the fresh result can replace it.
+        A file that does not parse (interrupted legacy write, stray
+        garbage) counts as a miss and is quarantined to
+        ``<task_id>.corrupt`` for inspection; an entry with a missing or
+        unknown schema version counts as a stale miss and is left to be
+        overwritten by the fresh store.
         """
         path = self._path(task_id)
         try:
             with path.open("r", encoding="utf-8") as fh:
-                row = json.load(fh)
+                doc = json.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (json.JSONDecodeError, OSError):
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             self.stats.corrupt += 1
             self.stats.misses += 1
-            path.unlink(missing_ok=True)
+            try:
+                path.replace(self._quarantine_path(task_id))
+            except OSError:
+                path.unlink(missing_ok=True)
+            return None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("schema") != CACHE_SCHEMA
+            or not isinstance(doc.get("row"), dict)
+        ):
+            self.stats.stale += 1
+            self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return row
+        return doc["row"]
 
     def store(self, task_id: str, row: dict[str, Any]) -> None:
         """Persist ``row`` atomically under ``task_id``."""
-        payload = json.dumps(row, sort_keys=True, indent=1)
+        payload = json.dumps(
+            {"schema": CACHE_SCHEMA, "row": row}, sort_keys=True, indent=1
+        )
         fd, tmp = tempfile.mkstemp(
             dir=self.root, prefix=f".{task_id}.", suffix=".tmp"
         )
@@ -82,6 +114,7 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def clear(self) -> None:
-        """Remove every cached row."""
-        for path in self.root.glob("*.json"):
-            path.unlink(missing_ok=True)
+        """Remove every cached row (and any quarantined entries)."""
+        for pattern in ("*.json", "*.corrupt"):
+            for path in self.root.glob(pattern):
+                path.unlink(missing_ok=True)

@@ -10,6 +10,8 @@ accounting of the run that produced them. Schema::
       "experiment": "fig8",
       "scale": "quick",
       "wall_seconds": 1.93,
+      "complete": true,
+      "failures": [],
       "runtime": {"tasks": 128, "cache_hits": 0, "executed": 128,
                   "workers": 4, "shards": 4, "wall_seconds": 1.88},
       "rows": [ {<one dict per result row>}, ... ]
@@ -19,6 +21,12 @@ accounting of the run that produced them. Schema::
 per :class:`~repro.runtime.task.ExperimentTask`); experiments that never
 touch the runtime fall back to their report tables flattened into
 header-keyed dicts, so *every* experiment has a machine-readable form.
+
+A run that ends with permanently failed cells (``on_error="collect"``)
+still emits its completed rows, but the document is marked
+``"complete": false`` and ``failures`` carries one record per failed
+task (error class, message, worker-side traceback, attempt count) so
+downstream tooling never mistakes a partial sweep for a finished one.
 """
 
 from __future__ import annotations
@@ -51,14 +59,26 @@ def bench_payload(
     wall_seconds: float,
     scale: str | None = None,
     runtime_stats: Any = None,
+    complete: bool = True,
+    failures: list[Any] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Assemble the ``cake-bench/v1`` document."""
+    """Assemble the ``cake-bench/v1`` document.
+
+    ``failures`` accepts :class:`~repro.runtime.outcome.TaskOutcome`
+    objects or already-serialized dicts; a non-empty list forces
+    ``complete`` to false.
+    """
+    failure_records = [
+        f.to_json() if hasattr(f, "to_json") else f for f in (failures or [])
+    ]
     payload: dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "experiment": experiment_id,
         "scale": scale,
         "wall_seconds": wall_seconds,
+        "complete": complete and not failure_records,
+        "failures": failure_records,
         "runtime": asdict(runtime_stats) if runtime_stats is not None else None,
         "rows": rows,
     }
@@ -75,6 +95,8 @@ def write_bench_json(
     wall_seconds: float,
     scale: str | None = None,
     runtime_stats: Any = None,
+    complete: bool = True,
+    failures: list[Any] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> Path:
     """Write ``BENCH_<experiment_id>.json`` atomically; returns its path."""
@@ -86,6 +108,8 @@ def write_bench_json(
         wall_seconds=wall_seconds,
         scale=scale,
         runtime_stats=runtime_stats,
+        complete=complete,
+        failures=failures,
         extra=extra,
     )
     target = directory / f"BENCH_{experiment_id}.json"

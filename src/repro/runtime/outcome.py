@@ -1,0 +1,166 @@
+"""Per-task execution envelopes and whole-run reports.
+
+The fault-tolerant runtime never lets a task's exception propagate out
+of a worker: every execution attempt ends in a :class:`TaskOutcome` —
+either a result row or a captured error (class, message, formatted
+traceback) plus the attempt count and wall time spent. A whole
+:meth:`~repro.runtime.executor.ExperimentRuntime.run` call is summarized
+by a :class:`RunReport`: rows in input order (``None`` where a task
+permanently failed), the failed outcomes, and the run's
+:class:`~repro.runtime.executor.RuntimeStats`.
+
+Outcomes carry *accounting*, not results: rows stay pure functions of
+their task, so retried, recovered, and fault-injected runs remain
+byte-identical to clean ones on their success paths.
+"""
+
+from __future__ import annotations
+
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CakeError
+
+
+class TaskExecutionError(CakeError):
+    """A task permanently failed under the ``on_error="raise"`` policy.
+
+    Carries the failing :class:`TaskOutcome` (and any sibling failures
+    from the same run) so callers keep the worker-side traceback even
+    though the original exception object died with the worker process.
+    """
+
+    def __init__(self, outcome: "TaskOutcome", failures: list["TaskOutcome"] | None = None):
+        self.outcome = outcome
+        self.failures = list(failures) if failures is not None else [outcome]
+        super().__init__(
+            f"task {outcome.task_id} failed after {outcome.attempts} "
+            f"attempt(s): {outcome.error_type}: {outcome.error_message}"
+        )
+
+
+class IncompleteRunError(CakeError):
+    """A ``collect``-mode run finished with failed cells.
+
+    Raised by :meth:`RunReport.require_rows` (and therefore by analysis
+    functions that need every cell of their grid) when some tasks never
+    produced a row. The partial :class:`RunReport` is attached so the
+    completed rows — already checkpointed in the result cache — are not
+    lost with the exception.
+    """
+
+    def __init__(self, report: "RunReport", experiment: str | None = None):
+        self.report = report
+        self.experiment = experiment
+        where = f" in {experiment!r}" if experiment else ""
+        failed = ", ".join(o.task_id for o in report.failures[:5])
+        more = len(report.failures) - 5
+        if more > 0:
+            failed += f", ... (+{more} more)"
+        super().__init__(
+            f"{len(report.failures)} of {report.stats.tasks} task(s) "
+            f"failed{where}: {failed}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TaskOutcome:
+    """What one task's execution (including retries) amounted to.
+
+    ``attempts`` counts executions within the worker that produced this
+    outcome; ``duration_seconds`` is the wall time those attempts took
+    (including backoff sleeps). Neither feeds into the result row.
+    """
+
+    task_id: str
+    ok: bool
+    row: dict[str, Any] | None = None
+    error_type: str | None = None
+    error_message: str | None = None
+    traceback: str | None = None
+    attempts: int = 1
+    duration_seconds: float = 0.0
+
+    @classmethod
+    def success(
+        cls, task_id: str, row: dict[str, Any], *, attempts: int, duration: float
+    ) -> "TaskOutcome":
+        return cls(
+            task_id=task_id,
+            ok=True,
+            row=row,
+            attempts=attempts,
+            duration_seconds=duration,
+        )
+
+    @classmethod
+    def failure(
+        cls, task_id: str, exc: BaseException, *, attempts: int, duration: float
+    ) -> "TaskOutcome":
+        return cls(
+            task_id=task_id,
+            ok=False,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempts=attempts,
+            duration_seconds=duration,
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """Failure record for ``BENCH_*.json`` ``failures`` lists."""
+        return {
+            "task_id": self.task_id,
+            "ok": self.ok,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RunReport:
+    """One ``run()`` call's survivable summary (``on_error="collect"``).
+
+    ``rows`` is in input order with ``None`` holes where tasks
+    permanently failed; ``failures`` holds those tasks' outcomes with
+    their captured tracebacks.
+    """
+
+    rows: list[dict[str, Any] | None]
+    failures: list["TaskOutcome"] = field(default_factory=list)
+    stats: Any = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every task produced a row."""
+        return not self.failures and all(row is not None for row in self.rows)
+
+    def successful_rows(self) -> list[dict[str, Any]]:
+        """The rows that were produced, input order preserved."""
+        return [row for row in self.rows if row is not None]
+
+    def require_rows(self) -> list[dict[str, Any]]:
+        """All rows, or :class:`IncompleteRunError` if any are missing."""
+        if not self.ok:
+            raise IncompleteRunError(self)
+        return list(self.rows)  # type: ignore[arg-type]
+
+
+def ensure_rows(result: Any) -> list[dict[str, Any]]:
+    """Normalize a ``run()`` result to a complete row list.
+
+    ``on_error="raise"`` runs already return a plain list;
+    ``on_error="collect"`` runs return a :class:`RunReport`, which is
+    unwrapped when complete and raised as :class:`IncompleteRunError`
+    otherwise. Analysis grids that need every cell call this instead of
+    assuming a list.
+    """
+    if isinstance(result, RunReport):
+        return result.require_rows()
+    return result

@@ -81,3 +81,80 @@ class TestCli:
     def test_unknown_experiment_exit_code(self, capsys):
         assert main(["fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestCliFaultTolerance:
+    """--retries / --task-timeout / --on-error / --inject-faults plumbing."""
+
+    def _transient_plan(self, tmp_path) -> str:
+        import json
+
+        return json.dumps(
+            {
+                "state_dir": str(tmp_path / "fault-state"),
+                "rules": [{"match": "*", "kind": "raise", "times": 1}],
+            }
+        )
+
+    def test_inject_faults_with_retries_completes_cleanly(self, tmp_path, capsys):
+        status = main(
+            [
+                "fig9a",
+                "--scale",
+                "quick",
+                "--retries",
+                "2",
+                "--inject-faults",
+                self._transient_plan(tmp_path),
+            ]
+        )
+        assert status == 0
+        assert "CAKE" in capsys.readouterr().out
+
+    def test_collect_mode_failure_exits_nonzero_and_marks_json(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        plan = json.dumps({"rules": [{"match": "*", "times": 999}]})
+        out_dir = tmp_path / "json"
+        status = main(
+            [
+                "fig9a",
+                "--scale",
+                "quick",
+                "--on-error",
+                "collect",
+                "--inject-faults",
+                plan,
+                "--json",
+                str(out_dir),
+            ]
+        )
+        assert status == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "InjectedFault" in err
+        payload = json.loads((out_dir / "BENCH_fig9a.json").read_text())
+        assert payload["complete"] is False
+        assert payload["failures"]
+
+    def test_inject_faults_plan_file(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(self._transient_plan(tmp_path))
+        status = main(
+            ["fig9a", "--scale", "quick", "--retries", "1",
+             "--inject-faults", f"@{plan_path}"]
+        )
+        assert status == 0
+        capsys.readouterr()
+
+    def test_bare_inject_faults_requires_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("CAKE_FAULT_PLAN", raising=False)
+        with pytest.raises(SystemExit):
+            main(["fig9a", "--scale", "quick", "--inject-faults"])
+        assert "CAKE_FAULT_PLAN" in capsys.readouterr().err
+
+    def test_rejects_bad_on_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig9a", "--on-error", "explode"])
+        capsys.readouterr()

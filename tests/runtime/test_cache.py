@@ -1,8 +1,8 @@
-"""On-disk result cache: round-trips, corruption handling, atomicity."""
+"""On-disk result cache: round-trips, quarantine, schema versioning."""
 
 import json
 
-from repro.runtime import ResultCache
+from repro.runtime import CACHE_SCHEMA, ResultCache
 
 
 class TestResultCache:
@@ -19,17 +19,39 @@ class TestResultCache:
         assert cache.load("nonexistent") is None
         assert cache.stats.misses == 1
 
-    def test_corrupt_file_is_evicted_and_missed(self, tmp_path):
+    def test_corrupt_file_is_quarantined_and_missed(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.store("bad000", {"x": 1})
         path = next(tmp_path.glob("*.json"))
         path.write_text("{truncated")
         assert cache.load("bad000") is None
         assert cache.stats.corrupt == 1
-        assert not path.exists(), "corrupt entry should be unlinked"
-        # The slot is reusable afterwards.
+        assert not path.exists(), "corrupt entry should vacate the slot"
+        # The evidence survives for postmortems...
+        quarantined = tmp_path / "bad000.corrupt"
+        assert quarantined.read_text() == "{truncated"
+        # ...and the slot is reusable afterwards.
         cache.store("bad000", {"x": 2})
         assert cache.load("bad000") == {"x": 2}
+
+    def test_unversioned_legacy_entry_is_a_stale_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        # A pre-versioning cache stored the bare row as the document.
+        (tmp_path / "old123.json").write_text(json.dumps({"gflops": 9.0}))
+        assert cache.load("old123") is None
+        assert cache.stats.stale == 1
+        assert cache.stats.corrupt == 0
+        # The fresh store upgrades the slot in place.
+        cache.store("old123", {"gflops": 9.0})
+        assert cache.load("old123") == {"gflops": 9.0}
+
+    def test_unknown_schema_version_is_a_stale_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "fut456.json").write_text(
+            json.dumps({"schema": "cake-cache/v999", "row": {"x": 1}})
+        )
+        assert cache.load("fut456") is None
+        assert cache.stats.stale == 1
 
     def test_store_overwrites_atomically(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -50,11 +72,14 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.load("id0") is None
 
-    def test_entries_are_plain_json(self, tmp_path):
+    def test_entries_are_versioned_json_envelopes(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.store("readable", {"gflops": 1.5})
         path = next(tmp_path.glob("*.json"))
-        assert json.loads(path.read_text()) == {"gflops": 1.5}
+        assert json.loads(path.read_text()) == {
+            "schema": CACHE_SCHEMA,
+            "row": {"gflops": 1.5},
+        }
 
     def test_creates_root_directory(self, tmp_path):
         root = tmp_path / "deep" / "cache"

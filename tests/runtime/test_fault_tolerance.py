@@ -1,0 +1,272 @@
+"""Fault-tolerance integration: every recovery path, driven by injection.
+
+Each test scripts a failure (raise / worker kill / hang) through
+:mod:`repro.runtime.faults` and asserts the runtime recovers to the
+exact rows a fault-free serial run produces — fault tolerance is an
+execution detail, never a result change.
+"""
+
+import pytest
+
+from repro.runtime import (
+    ExperimentRuntime,
+    ExperimentTask,
+    FaultPlan,
+    FaultRule,
+    IncompleteRunError,
+    RetryPolicy,
+    RunReport,
+    TaskExecutionError,
+    ensure_rows,
+)
+
+#: Fast backoff so retry-heavy tests stay quick; the schedule is still
+#: the deterministic policy, just scaled down.
+FAST_RETRY = RetryPolicy(retries=2, base_delay=0.001, max_delay=0.01)
+
+
+def _grid(count: int = 3) -> list[ExperimentTask]:
+    return [
+        ExperimentTask(
+            kind="predict",
+            engine=engine,
+            machine="Intel i9-10900K",
+            m=256 + 128 * i,
+            n=512,
+            k=256,
+        )
+        for i in range(count)
+        for engine in ("cake", "goto")
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_rows():
+    """Fault-free serial rows: the byte-identity baseline."""
+    return ExperimentRuntime().run(_grid())
+
+
+class TestRetryDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_transient_failures_retry_to_identical_rows(
+        self, workers, reference_rows, tmp_path
+    ):
+        tasks = _grid()
+        plan = FaultPlan(
+            rules=(FaultRule(match="*", kind="raise", times=1),),
+            state_dir=str(tmp_path),
+        )
+        runtime = ExperimentRuntime(
+            workers=workers, retry_policy=FAST_RETRY, faults=plan
+        )
+        rows = runtime.run(tasks)
+        assert rows == reference_rows
+        assert runtime.last_stats.retries == len(tasks)
+        assert runtime.last_stats.failures == 0
+
+    def test_backoff_schedule_is_deterministic_and_capped(self):
+        policy = RetryPolicy(retries=3, base_delay=0.05, max_delay=2.0)
+        d1 = policy.delay(seed=12345, attempt=1)
+        assert d1 == policy.delay(seed=12345, attempt=1)
+        assert d1 != policy.delay(seed=12345, attempt=2)
+        assert d1 != policy.delay(seed=54321, attempt=1)
+        for attempt in range(1, 50):
+            assert 0.0 <= policy.delay(seed=7, attempt=attempt) <= 2.0 * 1.5
+
+
+class TestPermanentFailure:
+    def test_collect_returns_report_with_traceback(self, reference_rows):
+        tasks = _grid()
+        bad = tasks[2].task_id
+        plan = FaultPlan(rules=(FaultRule(match=bad, times=999),))
+        runtime = ExperimentRuntime(
+            workers=2, retry_policy=FAST_RETRY, on_error="collect", faults=plan
+        )
+        report = runtime.run(tasks)
+        assert isinstance(report, RunReport)
+        assert not report.ok
+        assert [o.task_id for o in report.failures] == [bad]
+        assert "InjectedFault" in report.failures[0].traceback
+        assert report.failures[0].attempts == FAST_RETRY.retries + 1
+        # Every other cell still produced its exact row.
+        assert report.rows[2] is None
+        assert [r for i, r in enumerate(report.rows) if i != 2] == [
+            r for i, r in enumerate(reference_rows) if i != 2
+        ]
+        assert runtime.last_stats.failures == 1
+        with pytest.raises(IncompleteRunError):
+            ensure_rows(report)
+
+    def test_raise_mode_raises_with_captured_outcome(self):
+        tasks = _grid()
+        plan = FaultPlan(rules=(FaultRule(match=tasks[0].task_id, times=999),))
+        runtime = ExperimentRuntime(workers=2, retry_policy=FAST_RETRY, faults=plan)
+        with pytest.raises(TaskExecutionError) as excinfo:
+            runtime.run(tasks)
+        assert excinfo.value.outcome.task_id == tasks[0].task_id
+        assert "InjectedFault" in excinfo.value.outcome.traceback
+        # The grid still finished: the report has every other row.
+        assert sum(r is not None for r in runtime.last_report.rows) == len(tasks) - 1
+
+    def test_collect_mode_clean_run_reports_ok(self, reference_rows):
+        report = ExperimentRuntime(on_error="collect").run(_grid())
+        assert report.ok
+        assert report.require_rows() == reference_rows
+        assert ensure_rows(report) == reference_rows
+
+
+class TestPoolRecovery:
+    def test_worker_kill_rebuilds_pool_and_completes(
+        self, reference_rows, tmp_path
+    ):
+        tasks = _grid()
+        plan = FaultPlan(
+            rules=(FaultRule(match=tasks[0].task_id, kind="kill"),),
+            state_dir=str(tmp_path),
+        )
+        runtime = ExperimentRuntime(workers=2, faults=plan)
+        rows = runtime.run(tasks)
+        assert rows == reference_rows
+        assert runtime.last_stats.pool_rebuilds >= 1
+        assert runtime.last_stats.failures == 0
+
+    def test_hang_times_out_and_recovers(self, reference_rows, tmp_path):
+        tasks = _grid()
+        plan = FaultPlan(
+            rules=(
+                FaultRule(match=tasks[1].task_id, kind="hang", hang_seconds=30.0),
+            ),
+            state_dir=str(tmp_path),
+        )
+        runtime = ExperimentRuntime(workers=2, task_timeout=0.5, faults=plan)
+        rows = runtime.run(tasks)
+        assert rows == reference_rows
+        assert runtime.last_stats.timeouts >= 1
+        assert runtime.last_stats.pool_rebuilds >= 1
+
+    def test_repeated_crashes_degrade_to_inline(self, reference_rows):
+        tasks = _grid()
+        bad = tasks[2].task_id
+        # No state_dir: every rebuilt pool re-kills, until the inline
+        # fallback (where kill downgrades to raise) settles it.
+        plan = FaultPlan(rules=(FaultRule(match=bad, kind="kill", times=999),))
+        runtime = ExperimentRuntime(
+            workers=2, on_error="collect", faults=plan, max_pool_rebuilds=1
+        )
+        report = runtime.run(tasks)
+        assert runtime.last_stats.inline_fallbacks == 1
+        assert runtime.last_stats.pool_rebuilds == 2
+        assert [o.task_id for o in report.failures] == [bad]
+        assert [r for i, r in enumerate(report.rows) if i != 2] == [
+            r for i, r in enumerate(reference_rows) if i != 2
+        ]
+
+
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_only_missing_cells(
+        self, reference_rows, tmp_path
+    ):
+        tasks = _grid()
+        bad = tasks[4].task_id
+        cache_dir = tmp_path / "cache"
+        # Run 1 "dies" on one cell (permanent injected failure stands in
+        # for a mid-run kill): everything else checkpoints to the cache.
+        plan = FaultPlan(rules=(FaultRule(match=bad, times=999),))
+        first = ExperimentRuntime(
+            workers=2,
+            cache_dir=cache_dir,
+            retry_policy=FAST_RETRY,
+            on_error="collect",
+            faults=plan,
+        )
+        report = first.run(tasks)
+        assert len(report.failures) == 1
+        # Run 2 (no faults) re-executes exactly the missing cell.
+        resumed = ExperimentRuntime(cache_dir=cache_dir)
+        rows = resumed.run(tasks)
+        assert rows == reference_rows
+        assert resumed.last_stats.executed == 1
+        assert resumed.last_stats.cache_hits == len(tasks) - 1
+
+    def test_rows_checkpoint_during_inline_failure(self, tmp_path):
+        tasks = _grid()
+        cache_dir = tmp_path / "cache"
+        plan = FaultPlan(rules=(FaultRule(match=tasks[1].task_id, times=999),))
+        runtime = ExperimentRuntime(cache_dir=cache_dir, faults=plan)
+        with pytest.raises(TaskExecutionError):
+            runtime.run(tasks)
+        # Every successful cell was stored despite the raise.
+        assert len(runtime.cache) == len(tasks) - 1
+
+
+class TestDuplicateTasks:
+    def test_duplicates_execute_once_and_fan_out(self):
+        tasks = _grid(2)
+        duplicated = [tasks[0], tasks[1], tasks[0], tasks[1], tasks[0]]
+        runtime = ExperimentRuntime()
+        rows = runtime.run(duplicated)
+        assert runtime.last_stats.executed == 2
+        assert runtime.last_stats.deduped == 3
+        assert rows[0] == rows[2] == rows[4]
+        assert rows[1] == rows[3]
+        assert [r["task_id"] for r in rows] == [t.task_id for t in duplicated]
+
+    def test_duplicates_store_once_in_cache(self, tmp_path):
+        tasks = _grid(1)
+        runtime = ExperimentRuntime(cache_dir=tmp_path)
+        runtime.run([tasks[0], tasks[0], tasks[1]])
+        assert runtime.cache.stats.stores == 2
+        assert len(runtime.cache) == 2
+
+    def test_duplicates_of_cached_tasks_count_as_dedupe(self, tmp_path):
+        tasks = _grid(1)
+        ExperimentRuntime(cache_dir=tmp_path).run(tasks)
+        runtime = ExperimentRuntime(cache_dir=tmp_path)
+        runtime.run([tasks[0], tasks[0]])
+        assert runtime.last_stats.executed == 0
+        assert runtime.last_stats.cache_hits == 1
+        assert runtime.last_stats.deduped == 1
+
+
+class TestReportPlumbing:
+    def test_bench_payload_marks_incomplete_runs(self):
+        from repro.runtime import bench_payload
+
+        tasks = _grid(1)
+        plan = FaultPlan(rules=(FaultRule(match=tasks[0].task_id, times=999),))
+        runtime = ExperimentRuntime(on_error="collect", faults=plan)
+        report = runtime.run(tasks)
+        payload = bench_payload(
+            "smoke",
+            report.successful_rows(),
+            wall_seconds=0.1,
+            runtime_stats=report.stats,
+            failures=report.failures,
+        )
+        assert payload["complete"] is False
+        assert payload["failures"][0]["task_id"] == tasks[0].task_id
+        assert "InjectedFault" in payload["failures"][0]["traceback"]
+        assert payload["runtime"]["failures"] == 1
+
+    def test_bench_payload_defaults_to_complete(self):
+        from repro.runtime import bench_payload
+
+        payload = bench_payload("smoke", [], wall_seconds=0.1)
+        assert payload["complete"] is True
+        assert payload["failures"] == []
+
+    def test_env_plan_reaches_runtime(self, monkeypatch, reference_rows, tmp_path):
+        import json
+
+        monkeypatch.setenv(
+            "CAKE_FAULT_PLAN",
+            json.dumps(
+                {
+                    "state_dir": str(tmp_path),
+                    "rules": [{"match": "*", "kind": "raise", "times": 1}],
+                }
+            ),
+        )
+        runtime = ExperimentRuntime(retry_policy=FAST_RETRY)
+        assert runtime.run(_grid()) == reference_rows
+        assert runtime.last_stats.retries == len(_grid())
