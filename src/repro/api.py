@@ -24,13 +24,14 @@ def cake_matmul(
     machine: MachineSpec | None = None,
     cores: int | None = None,
     alpha: float | None = None,
+    workers: int | None = None,
 ) -> GemmRun:
     """Multiply ``a @ b`` with the CAKE engine.
 
     Parameters
     ----------
     a, b:
-        2-D operands with matching inner dimension.
+        2-D operands with matching inner dimension (any memory layout).
     machine:
         Platform model (default: the Intel i9-10900K of Table 2).
     cores:
@@ -38,6 +39,9 @@ def cake_matmul(
     alpha:
         CB aspect factor; ``None`` derives it from DRAM bandwidth per
         Section 3.2.
+    workers:
+        Host threads for numeric execution (default: serial). The
+        product is bit-identical for any worker count.
 
     Returns
     -------
@@ -46,7 +50,9 @@ def cake_matmul(
         are the modelled metrics.
     """
     machine = intel_i9_10900k() if machine is None else machine
-    return CakeGemm(machine, cores=cores, alpha=alpha).multiply(a, b)
+    return CakeGemm(
+        machine, cores=cores, alpha=alpha, workers=workers
+    ).multiply(a, b)
 
 
 def goto_matmul(
@@ -55,7 +61,8 @@ def goto_matmul(
     *,
     machine: MachineSpec | None = None,
     cores: int | None = None,
+    workers: int | None = None,
 ) -> GemmRun:
     """Multiply ``a @ b`` with the GOTO baseline engine (MKL/ARMPL model)."""
     machine = intel_i9_10900k() if machine is None else machine
-    return GotoGemm(machine, cores=cores).multiply(a, b)
+    return GotoGemm(machine, cores=cores, workers=workers).multiply(a, b)

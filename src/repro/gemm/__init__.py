@@ -19,6 +19,7 @@ timing the benchmarks plot.
 from repro.gemm.microkernel import MicroKernel
 from repro.gemm.naive import naive_matmul, reference_matmul
 from repro.gemm.counters import TrafficCounters
+from repro.gemm.parallel import PhaseTimers, StripTask, run_strip_groups
 from repro.gemm.plan import CakePlan, GotoPlan
 from repro.gemm.result import GemmRun
 from repro.gemm.cake import CakeGemm
@@ -30,6 +31,9 @@ __all__ = [
     "naive_matmul",
     "reference_matmul",
     "TrafficCounters",
+    "PhaseTimers",
+    "StripTask",
+    "run_strip_groups",
     "CakePlan",
     "GotoPlan",
     "GemmRun",

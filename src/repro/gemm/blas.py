@@ -7,10 +7,11 @@ existing frameworks"; those calls are ``?gemm``:
 
 with optional transposition of either operand. This module provides that
 surface on top of any engine (CAKE or GOTO), preserving the engine's
-traffic/timing report. Transposed operands are materialised contiguously
-before packing — the packing pass copies everything anyway (Section
-5.2.1), so a transposed input costs the same single copy as a plain one;
-the extra transpose traffic is charged to the packing term.
+traffic/timing report. Transposed operands are passed to the engine as
+plain views: the packing pass copies every operand block-contiguous in a
+single strided pass regardless of layout (Section 5.2.1), so a transposed
+input costs exactly the same single copy as a plain one — no contiguous
+staging copy happens here.
 """
 
 from __future__ import annotations
@@ -59,8 +60,8 @@ def gemm(
 
         engine = CakeGemm(intel_i9_10900k())
 
-    a_op = np.ascontiguousarray(a.T) if transpose_a else a
-    b_op = np.ascontiguousarray(b.T) if transpose_b else b
+    a_op = a.T if transpose_a else a
+    b_op = b.T if transpose_b else b
     if a_op.ndim != 2 or b_op.ndim != 2:
         raise ValueError("operands must be 2-D")
     if a_op.shape[1] != b_op.shape[0]:

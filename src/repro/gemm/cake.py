@@ -16,6 +16,12 @@ Executes ``C = A x B`` exactly as Sections 2-4 prescribe:
 4. Tally traffic and price each block with the roofline
    (:func:`repro.perfmodel.roofline.block_time`).
 
+Numerics execute through the shared strip-group executor
+(:mod:`repro.gemm.parallel`): with ``workers > 1`` the per-core strips
+of each block run on real threads, bit-identical to the serial walk.
+Counters always come from the deterministic schedule walk above, never
+from the threads.
+
 Because blocks split M evenly among cores *per block*, CAKE keeps all
 cores busy even when ``M`` is far smaller than ``p * mc`` — one of the two
 mechanisms (with partial-C elimination) behind its small-matrix advantage
@@ -24,15 +30,25 @@ in Figures 8 and 9a.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.gemm.counters import TrafficCounters
+from repro.gemm.parallel import (
+    PhaseTimers,
+    StripTask,
+    check_multiply_operands,
+    resolve_workers,
+    run_strip_groups,
+)
 from repro.gemm.plan import CakePlan
 from repro.gemm.result import GemmRun
 from repro.machines.spec import MachineSpec
 from repro.packing.cost import packing_cost
 from repro.packing.pack import pack_a_cake, pack_b_cake
+from repro.packing.pool import BufferPool
 from repro.perfmodel.roofline import ZERO_TIME, block_time
 from repro.schedule.reuse import SurfaceResidency
 from repro.schedule.space import ComputationSpace
@@ -69,6 +85,16 @@ class CakeGemm:
         (asserted by tests); the flag exists as the oracle for those
         equivalence tests and for debugging the walk block by block.
         :meth:`multiply` always walks scalar — it must execute tiles.
+    workers:
+        Host threads for numeric execution (``None`` or 1: inline
+        serial). Within each CB block the per-core strips run
+        concurrently on disjoint C row panels; the product is
+        bit-identical to the serial path for any worker count
+        (see :mod:`repro.gemm.parallel`).
+    exact_pack:
+        Pack operands with the original nested-loop packer instead of
+        the vectorized strided copy. Bit-identical buffers (asserted by
+        tests); kept as the packing oracle.
     """
 
     def __init__(
@@ -79,12 +105,17 @@ class CakeGemm:
         alpha: float | None = None,
         exact_tiles: bool = False,
         exact_walk: bool = False,
+        workers: int | None = None,
+        exact_pack: bool = False,
     ) -> None:
         self.machine = machine
         self.cores = cores
         self.alpha = alpha
         self.exact_tiles = exact_tiles
         self.exact_walk = exact_walk
+        self.workers = resolve_workers(workers)
+        self.exact_pack = exact_pack
+        self._pool = BufferPool()
 
     # -- public API ----------------------------------------------------------
 
@@ -98,13 +129,14 @@ class CakeGemm:
         )
 
     def multiply(self, a: np.ndarray, b: np.ndarray) -> GemmRun:
-        """Compute ``A x B``, returning numerics plus full accounting."""
-        if a.ndim != 2 or b.ndim != 2:
-            raise ValueError("operands must be 2-D arrays")
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(
-                f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
-            )
+        """Compute ``A x B``, returning numerics plus full accounting.
+
+        Operands may be F-ordered, transposed views or otherwise
+        non-contiguous — packing copies them exactly once either way.
+        Integer/boolean dtypes are rejected (silent overflow); float32
+        operands accumulate in float32.
+        """
+        check_multiply_operands(a, b)
         space = ComputationSpace(a.shape[0], b.shape[1], a.shape[1])
         return self._run(space, a=a, b=b)
 
@@ -146,14 +178,22 @@ class CakeGemm:
         kernel = plan.kernel
 
         numeric = a is not None
+        timers = PhaseTimers()
         if numeric:
             assert b is not None
-            packed_a = pack_a_cake(a, plan.m_block, plan.kc)
-            packed_b = pack_b_cake(b, plan.kc, plan.n_block)
+            pack_start = time.perf_counter()
+            packed_a = pack_a_cake(
+                a, plan.m_block, plan.kc, pool=self._pool, exact=self.exact_pack
+            )
+            packed_b = pack_b_cake(
+                b, plan.kc, plan.n_block, pool=self._pool, exact=self.exact_pack
+            )
+            timers.pack_seconds = time.perf_counter() - pack_start
             c = np.zeros((space.m, space.n), dtype=np.result_type(a, b))
         else:
             packed_a = packed_b = None
             c = None
+        groups: list[list[StripTask]] = []
 
         counters = TrafficCounters()
         counters.ext_pack = 2 * (space.m * space.k + space.k * space.n)
@@ -232,20 +272,35 @@ class CakeGemm:
                 a_block = packed_a.block(coord.mi, coord.ki)
                 b_panel = packed_b.panel(coord.ki, coord.ni)
                 c_view = c[m0 : m0 + ext.m, n0 : n0 + ext.n]
+                group: list[StripTask] = []
                 r0 = 0
                 for rows in strips:
-                    kernel.panel_matmul(
-                        a_block[r0 : r0 + rows],
-                        b_panel,
-                        c_view[r0 : r0 + rows],
-                        exact_tiles=self.exact_tiles,
+                    group.append(
+                        StripTask(
+                            a_block[r0 : r0 + rows],
+                            b_panel,
+                            c_view[r0 : r0 + rows],
+                        )
                     )
                     r0 += rows
+                groups.append(group)
 
         if counters.ext_c_spill or counters.ext_c_read:  # pragma: no cover
             raise ConfigurationError(
                 "CAKE's K-first schedule must never spill partial results"
             )
+
+        if numeric:
+            assert packed_a is not None and packed_b is not None
+            run_strip_groups(
+                groups,
+                kernel,
+                workers=self.workers,
+                exact_tiles=self.exact_tiles,
+                timers=timers,
+            )
+            packed_a.release_to(self._pool)
+            packed_b.release_to(self._pool)
 
         return GemmRun(
             engine="cake",
@@ -265,4 +320,6 @@ class CakeGemm:
                 "blocks": grid.num_blocks,
             },
             c=c,
+            workers=self.workers if numeric else 1,
+            phase_seconds=timers.as_dict() if numeric else None,
         )

@@ -20,14 +20,24 @@ speedup for small matrices in Figure 9a).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.gemm.counters import TrafficCounters
+from repro.gemm.parallel import (
+    PhaseTimers,
+    StripTask,
+    check_multiply_operands,
+    resolve_workers,
+    run_strip_groups,
+)
 from repro.gemm.plan import GotoPlan
 from repro.gemm.result import GemmRun
 from repro.machines.spec import MachineSpec
 from repro.packing.cost import packing_cost
 from repro.packing.pack import pack_a_goto, pack_b_goto
+from repro.packing.pool import BufferPool
 from repro.perfmodel.roofline import ZERO_TIME, block_time
 from repro.schedule.space import ComputationSpace
 from repro.util import split_length
@@ -38,6 +48,10 @@ class GotoGemm:
 
     Parameters mirror :class:`~repro.gemm.cake.CakeGemm` minus ``alpha``
     (GOTO has no bandwidth-adaptive parameter — that is the point).
+    Numeric execution shares CAKE's executor
+    (:mod:`repro.gemm.parallel`): ``workers`` threads fan out over the
+    ``mc``-strip slabs of each ``(nc, kc)`` slice, preserving the
+    N-then-M loop order and bit-identical numerics.
     """
 
     def __init__(
@@ -47,11 +61,16 @@ class GotoGemm:
         cores: int | None = None,
         exact_tiles: bool = False,
         exact_walk: bool = False,
+        workers: int | None = None,
+        exact_pack: bool = False,
     ) -> None:
         self.machine = machine
         self.cores = cores
         self.exact_tiles = exact_tiles
         self.exact_walk = exact_walk
+        self.workers = resolve_workers(workers)
+        self.exact_pack = exact_pack
+        self._pool = BufferPool()
 
     # -- public API ----------------------------------------------------------
 
@@ -62,13 +81,13 @@ class GotoGemm:
         )
 
     def multiply(self, a: np.ndarray, b: np.ndarray) -> GemmRun:
-        """Compute ``A x B``, returning numerics plus full accounting."""
-        if a.ndim != 2 or b.ndim != 2:
-            raise ValueError("operands must be 2-D arrays")
-        if a.shape[1] != b.shape[0]:
-            raise ValueError(
-                f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
-            )
+        """Compute ``A x B``, returning numerics plus full accounting.
+
+        Same operand contract as :meth:`CakeGemm.multiply`: any layout
+        is packed with a single copy, integer dtypes are rejected, and
+        float32 stays float32.
+        """
+        check_multiply_operands(a, b)
         space = ComputationSpace(a.shape[0], b.shape[1], a.shape[1])
         return self._run(space, a=a, b=b)
 
@@ -100,14 +119,22 @@ class GotoGemm:
         kernel = plan.kernel
 
         numeric = a is not None
+        timers = PhaseTimers()
         if numeric:
             assert b is not None
-            packed_a = pack_a_goto(a, plan.mc, plan.kc)
-            packed_b = pack_b_goto(b, plan.kc, plan.nc)
+            pack_start = time.perf_counter()
+            packed_a = pack_a_goto(
+                a, plan.mc, plan.kc, pool=self._pool, exact=self.exact_pack
+            )
+            packed_b = pack_b_goto(
+                b, plan.kc, plan.nc, pool=self._pool, exact=self.exact_pack
+            )
+            timers.pack_seconds = time.perf_counter() - pack_start
             c = np.zeros((space.m, space.n), dtype=np.result_type(a, b))
         else:
             packed_a = packed_b = None
             c = None
+        groups: list[list[StripTask]] = []
 
         counters = TrafficCounters()
         counters.ext_pack = 2 * (space.m * space.k + space.k * space.n)
@@ -130,6 +157,12 @@ class GotoGemm:
                 b_el = kc_actual * nc_actual
                 counters.ext_b_read += b_el
                 b_pending = b_el  # charged to the first wave of this panel
+                # One strip group per (nc, kc) slice: every mc-strip of the
+                # slice updates a disjoint C row panel, so all waves'
+                # strips may run concurrently; the cross-slice barrier
+                # keeps each C element's accumulation order identical to
+                # the serial nest.
+                group: list[StripTask] = []
 
                 # Waves of p strips: cores beyond the remaining strip count idle.
                 for wave_start in range(0, len(m_strips), plan.cores):
@@ -182,12 +215,27 @@ class GotoGemm:
                         for lane, rows in enumerate(wave):
                             strip = wave_start + lane
                             m0 = m_offsets[strip]
-                            kernel.panel_matmul(
-                                packed_a.block(strip, ki),
-                                b_panel,
-                                c[m0 : m0 + rows, n0 : n0 + nc_actual],
-                                exact_tiles=self.exact_tiles,
+                            group.append(
+                                StripTask(
+                                    packed_a.block(strip, ki),
+                                    b_panel,
+                                    c[m0 : m0 + rows, n0 : n0 + nc_actual],
+                                )
                             )
+                if numeric:
+                    groups.append(group)
+
+        if numeric:
+            assert packed_a is not None and packed_b is not None
+            run_strip_groups(
+                groups,
+                kernel,
+                workers=self.workers,
+                exact_tiles=self.exact_tiles,
+                timers=timers,
+            )
+            packed_a.release_to(self._pool)
+            packed_b.release_to(self._pool)
 
         return GemmRun(
             engine="goto",
@@ -205,6 +253,8 @@ class GotoGemm:
                 "m_strips": len(m_strips),
             },
             c=c,
+            workers=self.workers if numeric else 1,
+            phase_seconds=timers.as_dict() if numeric else None,
         )
 
 

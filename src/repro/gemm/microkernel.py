@@ -59,6 +59,7 @@ class MicroKernel:
         c_panel: np.ndarray,
         *,
         exact_tiles: bool = False,
+        checked: bool = True,
     ) -> None:
         """Accumulate ``c_panel += a_panel @ b_panel`` through the kernel.
 
@@ -67,19 +68,25 @@ class MicroKernel:
         update walks every ``mr x nr`` register tile in the order a core
         would (nr-columns outer, mr-rows inner, so each B sliver is reused
         across all row strips before moving on).
+
+        ``checked=False`` skips the shape validation — for executors that
+        dispatch thousands of strips whose shapes are correct by
+        construction (the packing grid and the C views come from the same
+        plan), where the per-call Python branches are measurable overhead.
         """
-        if a_panel.shape[0] != c_panel.shape[0]:
-            raise ValueError(
-                f"A rows {a_panel.shape[0]} != C rows {c_panel.shape[0]}"
-            )
-        if b_panel.shape[1] != c_panel.shape[1]:
-            raise ValueError(
-                f"B cols {b_panel.shape[1]} != C cols {c_panel.shape[1]}"
-            )
-        if a_panel.shape[1] != b_panel.shape[0]:
-            raise ValueError(
-                f"A cols {a_panel.shape[1]} != B rows {b_panel.shape[0]}"
-            )
+        if checked:
+            if a_panel.shape[0] != c_panel.shape[0]:
+                raise ValueError(
+                    f"A rows {a_panel.shape[0]} != C rows {c_panel.shape[0]}"
+                )
+            if b_panel.shape[1] != c_panel.shape[1]:
+                raise ValueError(
+                    f"B cols {b_panel.shape[1]} != C cols {c_panel.shape[1]}"
+                )
+            if a_panel.shape[1] != b_panel.shape[0]:
+                raise ValueError(
+                    f"A cols {a_panel.shape[1]} != B rows {b_panel.shape[0]}"
+                )
         if not exact_tiles:
             c_panel += a_panel @ b_panel
             return

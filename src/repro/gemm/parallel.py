@@ -1,0 +1,179 @@
+"""The shared multi-core numeric execution engine.
+
+Section 2's headline claim is that computation throughput scales with the
+core count ``p`` while external bandwidth stays constant. The analytic
+side of that claim lives in the schedule walk and the roofline; this
+module is the *wall-clock* side: it executes the engines' block schedules
+with real threads, using the paper's per-core M-decomposition.
+
+Execution model
+---------------
+
+Both engines hand the executor an ordered sequence of **strip groups**:
+
+* For CAKE, one group per CB block of the K-first schedule. Within the
+  group, each strip is one core's ``mc``-row slab of packed A multiplied
+  against the block's B panel, accumulating into that core's *disjoint*
+  C row panel — lock-free by construction, exactly the CB shaping of
+  Section 4.2.
+* For GOTO, one group per ``(nc, kc)`` slice of the Figure 5 loop nest;
+  strips are the ``mc x kc`` A sub-blocks of that slice (all M waves),
+  again with disjoint C row panels.
+
+Groups are barriers: group ``g+1`` starts only after every strip of group
+``g`` completed. That ordering is what makes the parallel product
+**bit-identical** to the serial walk — each C element sees the same
+``+=`` sequence of identically-shaped matmuls in the same order, only
+the (independent) strips within one group run concurrently. NumPy's
+matmul releases the GIL, so a ``ThreadPoolExecutor`` scales on real
+cores with zero pickling or shared-memory setup.
+
+Traffic/timing accounting never runs here — counters come from the
+engines' deterministic schedule walk, so ``GemmRun`` rows are identical
+whether numerics ran serial or parallel (asserted in tests).
+
+Phase timers
+------------
+
+:class:`PhaseTimers` captures per-phase wall-clock so future PRs can
+profile the engine:
+
+* ``pack`` — building the packed operands (orchestrator wall time);
+* ``compute`` — per-strip kernel time, **summed across workers** (with
+  ``w`` workers on ``w`` idle cores this exceeds the elapsed wall time
+  by up to ``w``; the ratio is the achieved parallelism);
+* ``reduce`` — orchestrator time blocked on group barriers waiting for
+  workers to finish (load imbalance + GIL contention indicator; zero on
+  the inline ``workers=1`` path).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.gemm.microkernel import MicroKernel
+from repro.util import require_positive
+
+
+class StripTask(NamedTuple):
+    """One core's slab of work: ``c += a @ b`` on disjoint C rows."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+
+
+@dataclass(slots=True)
+class PhaseTimers:
+    """Wall-clock pack / compute / reduce accounting for one run."""
+
+    pack_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    reduce_seconds: float = 0.0
+    #: Workers the run was executed with (1 = inline serial path).
+    workers: int = 1
+
+    def as_dict(self) -> dict[str, float]:
+        """The breakdown in the shape ``GemmRun.phase_seconds`` carries."""
+        return {
+            "pack": self.pack_seconds,
+            "compute": self.compute_seconds,
+            "reduce": self.reduce_seconds,
+        }
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize an engine's ``workers`` parameter (``None`` -> serial)."""
+    if workers is None:
+        return 1
+    require_positive("workers", workers)
+    return workers
+
+
+def check_multiply_operands(a: np.ndarray, b: np.ndarray) -> np.dtype:
+    """Validate operand dtypes/shapes for numeric execution.
+
+    Returns the accumulation dtype (``np.result_type`` of the operands:
+    float32 inputs stay float32, mixed precision widens). Integer and
+    boolean operands are rejected outright — blocked accumulation of
+    fixed-width integers silently wraps on overflow, which no GEMM user
+    wants from a library that otherwise reproduces BLAS semantics.
+
+    Layout is deliberately *not* validated: F-ordered, transposed and
+    non-contiguous operands are first-class. The packing pass copies
+    them block-contiguous in a single strided pass, so no caller ever
+    needs (or pays for) an ``np.ascontiguousarray`` staging copy.
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("operands must be 2-D arrays")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(
+            f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
+        )
+    out = np.result_type(a, b)
+    if not (
+        np.issubdtype(out, np.floating) or np.issubdtype(out, np.complexfloating)
+    ):
+        raise TypeError(
+            f"refusing to multiply {a.dtype} x {b.dtype} operands: blocked "
+            f"accumulation in {out} integer arithmetic wraps silently on "
+            f"overflow; cast the operands to a floating dtype first "
+            f"(e.g. a.astype(np.float64))"
+        )
+    return out
+
+
+def _timed_strip(kernel: MicroKernel, task: StripTask, exact_tiles: bool) -> float:
+    """Execute one strip, returning its kernel wall time."""
+    start = time.perf_counter()
+    kernel.panel_matmul(
+        task.a, task.b, task.c, exact_tiles=exact_tiles, checked=False
+    )
+    return time.perf_counter() - start
+
+
+def run_strip_groups(
+    groups: Iterable[Sequence[StripTask]],
+    kernel: MicroKernel,
+    *,
+    workers: int = 1,
+    exact_tiles: bool = False,
+    timers: PhaseTimers | None = None,
+) -> PhaseTimers:
+    """Execute an ordered sequence of strip groups, barrier per group.
+
+    ``workers=1`` runs every strip inline (no pool, no thread hop);
+    ``workers>1`` fans each group's strips over a thread pool. Both paths
+    issue identical kernel calls in a per-C-row identical order, so the
+    numeric result is bit-for-bit the same for any worker count.
+
+    The pool is created per call, which keeps one engine object safe to
+    run from multiple threads concurrently (no shared mutable executor
+    state; the buffer pool is lock-guarded separately).
+    """
+    timers = timers if timers is not None else PhaseTimers()
+    timers.workers = max(timers.workers, workers)
+    if workers <= 1:
+        for group in groups:
+            for task in group:
+                timers.compute_seconds += _timed_strip(kernel, task, exact_tiles)
+        return timers
+
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="cake-gemm"
+    ) as pool:
+        for group in groups:
+            futures = [
+                pool.submit(_timed_strip, kernel, task, exact_tiles)
+                for task in group
+            ]
+            barrier_start = time.perf_counter()
+            # Propagate worker exceptions eagerly; sum kernel seconds.
+            timers.compute_seconds += sum(f.result() for f in futures)
+            timers.reduce_seconds += time.perf_counter() - barrier_start
+    return timers

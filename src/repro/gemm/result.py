@@ -46,6 +46,16 @@ class GemmRun:
         behind the paper's narrative for each platform.
     plan_summary:
         The tiling parameters the plan chose, for reporting.
+    workers:
+        Host threads the numeric executor ran with (1 for the inline
+        serial path and for analytic-only runs). Distinct from ``cores``,
+        which is the *modelled* core count the plan and pricing use.
+    phase_seconds:
+        Measured wall-clock of the numeric run's phases — ``pack``
+        (packed-operand construction), ``compute`` (kernel time summed
+        across workers), ``reduce`` (orchestrator barrier waits). ``None``
+        for analytic-only runs. This is host wall time, *not* the modelled
+        :attr:`seconds`; it exists so the execution engine can be profiled.
     """
 
     engine: str
@@ -58,6 +68,8 @@ class GemmRun:
     bound_blocks: dict[str, int] = field(default_factory=dict)
     plan_summary: dict[str, float] = field(default_factory=dict)
     c: np.ndarray | None = None
+    workers: int = 1
+    phase_seconds: dict[str, float] | None = None
 
     @property
     def seconds(self) -> float:

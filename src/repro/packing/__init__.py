@@ -14,18 +14,24 @@ skewed shapes it can be a significant fraction of total time.
 from repro.packing.pack import (
     PackedA,
     PackedB,
+    pack_a,
     pack_a_cake,
     pack_a_goto,
+    pack_b,
     pack_b_cake,
     pack_b_goto,
 )
+from repro.packing.pool import BufferPool
 from repro.packing.cost import PackingCost, packing_cost
 
 __all__ = [
+    "BufferPool",
     "PackedA",
     "PackedB",
+    "pack_a",
     "pack_a_cake",
     "pack_a_goto",
+    "pack_b",
     "pack_b_cake",
     "pack_b_goto",
     "PackingCost",

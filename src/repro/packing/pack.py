@@ -12,14 +12,33 @@ CAKE and GOTO is block *shape*, not packing mechanics):
 The packed structures expose ``block(i, j)`` views so executors never
 re-slice the original operands — matching the guide's "views, not copies"
 idiom after the single packing copy.
+
+Two implementations produce bit-identical buffers:
+
+* The **vectorized** default builds at most four large block-major
+  buffers (uniform interior, ragged right edge, ragged bottom edge,
+  corner) with one strided ``np.copyto`` each; individual blocks are
+  C-contiguous views into those buffers. Because the copy source is a
+  stride-tricks view of the original operand, any input layout —
+  F-ordered, transposed, or otherwise non-contiguous — is packed with
+  exactly **one** data copy (no contiguous staging copy first).
+* The **loop oracle** (``exact=True``) is the original nested-Python-loop
+  packer: one ``np.ascontiguousarray`` per block. It exists as the
+  ground truth the vectorized path is hypothesis-tested against, and as
+  the ``exact_pack=True`` escape hatch on the engines.
+
+Buffers can come from a :class:`repro.packing.pool.BufferPool` so service
+loops reuse packed storage across calls instead of reallocating.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
+from repro.packing.pool import BufferPool
 from repro.util import require_positive, split_length
 
 
@@ -35,6 +54,9 @@ class PackedA:
     blocks: list[list[np.ndarray]]
     mc: int
     kc: int
+    #: Backing buffers (vectorized path only) — handed back to the buffer
+    #: pool via :meth:`release_to` when the run that leased them is done.
+    buffers: tuple[np.ndarray, ...] = field(default=(), repr=False)
 
     @property
     def strips(self) -> int:
@@ -55,6 +77,11 @@ class PackedA:
         """The contiguous ``mc x kc`` sub-block at (strip, k_panel)."""
         return self.blocks[strip][k_panel]
 
+    def release_to(self, pool: BufferPool | None) -> None:
+        """Return backing buffers to ``pool`` (no-op without one)."""
+        if pool is not None and self.buffers:
+            pool.release(*self.buffers)
+
 
 @dataclass(frozen=True)
 class PackedB:
@@ -67,6 +94,7 @@ class PackedB:
     panels: list[list[np.ndarray]]
     kc: int
     n_block: int
+    buffers: tuple[np.ndarray, ...] = field(default=(), repr=False)
 
     @property
     def k_panels(self) -> int:
@@ -87,47 +115,55 @@ class PackedB:
         """The contiguous ``kc x n_block`` panel at (k_panel, n_panel)."""
         return self.panels[k_panel][n_panel]
 
+    def release_to(self, pool: BufferPool | None) -> None:
+        """Return backing buffers to ``pool`` (no-op without one)."""
+        if pool is not None and self.buffers:
+            pool.release(*self.buffers)
 
-def pack_a(a: np.ndarray, mc: int, kc: int) -> PackedA:
-    """Pack matrix ``a`` into contiguous ``mc x kc`` sub-blocks."""
+
+def pack_a(
+    a: np.ndarray,
+    mc: int,
+    kc: int,
+    *,
+    pool: BufferPool | None = None,
+    exact: bool = False,
+) -> PackedA:
+    """Pack matrix ``a`` into contiguous ``mc x kc`` sub-blocks.
+
+    ``exact=True`` routes through the per-block loop oracle (bit-identical
+    output, no pooling); the default builds the same blocks with a few
+    large strided copies.
+    """
     _check_matrix("a", a)
     require_positive("mc", mc)
     require_positive("kc", kc)
-    m, k = a.shape
-    m_sizes = split_length(m, min(mc, m))
-    k_sizes = split_length(k, min(kc, k))
-    blocks: list[list[np.ndarray]] = []
-    m0 = 0
-    for ms in m_sizes:
-        row: list[np.ndarray] = []
-        k0 = 0
-        for ks in k_sizes:
-            row.append(np.ascontiguousarray(a[m0 : m0 + ms, k0 : k0 + ks]))
-            k0 += ks
-        blocks.append(row)
-        m0 += ms
-    return PackedA(blocks=blocks, mc=mc, kc=kc)
+    if exact:
+        return PackedA(blocks=_pack_grid_loop(a, mc, kc), mc=mc, kc=kc)
+    blocks, buffers = _pack_grid(a, mc, kc, pool)
+    return PackedA(blocks=blocks, mc=mc, kc=kc, buffers=buffers)
 
 
-def pack_b(b: np.ndarray, kc: int, n_block: int) -> PackedB:
-    """Pack matrix ``b`` into contiguous ``kc x n_block`` panels."""
+def pack_b(
+    b: np.ndarray,
+    kc: int,
+    n_block: int,
+    *,
+    pool: BufferPool | None = None,
+    exact: bool = False,
+) -> PackedB:
+    """Pack matrix ``b`` into contiguous ``kc x n_block`` panels.
+
+    Same contract as :func:`pack_a` (B's rows are cut by ``kc``, its
+    columns by ``n_block``).
+    """
     _check_matrix("b", b)
     require_positive("kc", kc)
     require_positive("n_block", n_block)
-    k, n = b.shape
-    k_sizes = split_length(k, min(kc, k))
-    n_sizes = split_length(n, min(n_block, n))
-    panels: list[list[np.ndarray]] = []
-    k0 = 0
-    for ks in k_sizes:
-        row: list[np.ndarray] = []
-        n0 = 0
-        for ns in n_sizes:
-            row.append(np.ascontiguousarray(b[k0 : k0 + ks, n0 : n0 + ns]))
-            n0 += ns
-        panels.append(row)
-        k0 += ks
-    return PackedB(panels=panels, kc=kc, n_block=n_block)
+    if exact:
+        return PackedB(panels=_pack_grid_loop(b, kc, n_block), kc=kc, n_block=n_block)
+    panels, buffers = _pack_grid(b, kc, n_block, pool)
+    return PackedB(panels=panels, kc=kc, n_block=n_block, buffers=buffers)
 
 
 # Engine-specific aliases: CAKE and GOTO pack identically at this
@@ -137,6 +173,107 @@ pack_a_cake = pack_a
 pack_a_goto = pack_a
 pack_b_cake = pack_b
 pack_b_goto = pack_b
+
+
+# -- vectorized packing -------------------------------------------------------
+
+
+def _pack_grid(
+    x: np.ndarray,
+    row_chunk: int,
+    col_chunk: int,
+    pool: BufferPool | None,
+) -> tuple[list[list[np.ndarray]], tuple[np.ndarray, ...]]:
+    """Blocked copy of ``x`` as C-contiguous views into <= 4 big buffers.
+
+    The interior blocks (all full ``row_chunk x col_chunk``) land in one
+    block-major 4-D buffer with a single strided copy; the ragged right
+    edge, bottom edge and corner each get their own buffer. The copy
+    *source* is a zero-copy strided view of ``x``, so the data moves
+    exactly once regardless of the input's memory layout.
+    """
+    rows, cols = x.shape
+    rc = min(row_chunk, rows)
+    cc = min(col_chunk, cols)
+    r_full, r_rem = divmod(rows, rc)
+    c_full, c_rem = divmod(cols, cc)
+    sr, sc = x.strides
+
+    lease = pool.lease if pool is not None else np.empty
+    buffers: list[np.ndarray] = []
+
+    main = right = bottom = corner = None
+    if r_full and c_full:
+        main = lease((r_full, c_full, rc, cc), x.dtype)
+        np.copyto(
+            main,
+            as_strided(
+                x,
+                shape=(r_full, c_full, rc, cc),
+                strides=(rc * sr, cc * sc, sr, sc),
+            ),
+        )
+        buffers.append(main)
+    if r_full and c_rem:
+        edge = x[:, c_full * cc :]
+        right = lease((r_full, rc, c_rem), x.dtype)
+        np.copyto(
+            right,
+            as_strided(edge, shape=(r_full, rc, c_rem), strides=(rc * sr, sr, sc)),
+        )
+        buffers.append(right)
+    if r_rem and c_full:
+        edge = x[r_full * rc :, :]
+        bottom = lease((c_full, r_rem, cc), x.dtype)
+        np.copyto(
+            bottom,
+            as_strided(edge, shape=(c_full, r_rem, cc), strides=(cc * sc, sr, sc)),
+        )
+        buffers.append(bottom)
+    if r_rem and c_rem:
+        corner = lease((r_rem, c_rem), x.dtype)
+        np.copyto(corner, x[r_full * rc :, c_full * cc :])
+        buffers.append(corner)
+
+    nb_r = r_full + (1 if r_rem else 0)
+    nb_c = c_full + (1 if c_rem else 0)
+    grid: list[list[np.ndarray]] = []
+    for i in range(nb_r):
+        row: list[np.ndarray] = []
+        for j in range(nb_c):
+            if i < r_full and j < c_full:
+                row.append(main[i, j])
+            elif i < r_full:
+                row.append(right[i])
+            elif j < c_full:
+                row.append(bottom[j])
+            else:
+                row.append(corner)
+        grid.append(row)
+    return grid, tuple(buffers)
+
+
+# -- the loop oracle ----------------------------------------------------------
+
+
+def _pack_grid_loop(
+    x: np.ndarray, row_chunk: int, col_chunk: int
+) -> list[list[np.ndarray]]:
+    """The original nested-loop packer: one contiguous copy per block."""
+    rows, cols = x.shape
+    r_sizes = split_length(rows, min(row_chunk, rows))
+    c_sizes = split_length(cols, min(col_chunk, cols))
+    grid: list[list[np.ndarray]] = []
+    r0 = 0
+    for rs in r_sizes:
+        row: list[np.ndarray] = []
+        c0 = 0
+        for cs in c_sizes:
+            row.append(np.ascontiguousarray(x[r0 : r0 + rs, c0 : c0 + cs]))
+            c0 += cs
+        grid.append(row)
+        r0 += rs
+    return grid
 
 
 def _check_matrix(name: str, x: np.ndarray) -> None:

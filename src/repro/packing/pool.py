@@ -1,0 +1,102 @@
+"""A reusable buffer pool for packed operand storage.
+
+Packing allocates a handful of large contiguous buffers per ``multiply()``
+call (one per packed region — see :mod:`repro.packing.pack`). Service
+workloads call ``multiply()`` in a loop with recurring shapes, so those
+allocations are highly redundant; the pool lets an engine hand buffers
+back after a run and lease them again on the next call instead of paying
+``np.empty`` + page-fault cost every time.
+
+Semantics are deliberately minimal:
+
+* :meth:`BufferPool.lease` returns an **uninitialised** C-contiguous
+  array of exactly the requested shape and dtype — a retained buffer if
+  one matches, a fresh allocation otherwise. Leased buffers are popped
+  from the pool under a lock, so concurrent leases never share storage
+  (this is what makes one engine object safe to run from many threads).
+* :meth:`BufferPool.release` returns buffers for reuse. The pool retains
+  at most ``max_retained_bytes`` in total and evicts the
+  least-recently-released buffers beyond that, so a single huge problem
+  cannot pin its working set forever.
+
+The pool never zeroes storage: packed buffers are always fully
+overwritten by the pack copy before use, which tests assert indirectly by
+checking packed buffers are bit-identical to the loop-packing oracle.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+#: Default retention cap: generous enough for the benchmark shapes
+#: (a 1536^3 float64 problem packs ~38 MiB), small enough to never
+#: matter on a laptop.
+DEFAULT_MAX_RETAINED_BYTES = 256 * 1024 * 1024
+
+
+class BufferPool:
+    """Thread-safe pool of reusable C-contiguous ndarray buffers."""
+
+    def __init__(self, max_retained_bytes: int = DEFAULT_MAX_RETAINED_BYTES):
+        if max_retained_bytes < 0:
+            raise ValueError(
+                f"max_retained_bytes must be >= 0, got {max_retained_bytes}"
+            )
+        self.max_retained_bytes = max_retained_bytes
+        self._lock = threading.Lock()
+        # (shape, dtype.str) -> list of free buffers; OrderedDict gives
+        # cheap least-recently-released eviction across keys.
+        self._free: OrderedDict[tuple, list[np.ndarray]] = OrderedDict()
+        self._retained_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, shape: tuple[int, ...], dtype: np.dtype) -> tuple:
+        return (tuple(shape), np.dtype(dtype).str)
+
+    def lease(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialised C-contiguous array of ``shape``/``dtype``."""
+        key = self._key(shape, dtype)
+        with self._lock:
+            bucket = self._free.get(key)
+            if bucket:
+                buf = bucket.pop()
+                if not bucket:
+                    del self._free[key]
+                self._retained_bytes -= buf.nbytes
+                self.hits += 1
+                return buf
+            self.misses += 1
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, *buffers: np.ndarray) -> None:
+        """Return buffers to the pool (caller must drop its references)."""
+        with self._lock:
+            for buf in buffers:
+                if buf.nbytes > self.max_retained_bytes:
+                    continue  # would evict everything else; not worth keeping
+                key = self._key(buf.shape, buf.dtype)
+                self._free.setdefault(key, []).append(buf)
+                self._free.move_to_end(key)
+                self._retained_bytes += buf.nbytes
+            while self._retained_bytes > self.max_retained_bytes and self._free:
+                key, bucket = next(iter(self._free.items()))
+                victim = bucket.pop(0)
+                if not bucket:
+                    del self._free[key]
+                self._retained_bytes -= victim.nbytes
+
+    @property
+    def retained_bytes(self) -> int:
+        """Bytes currently held for reuse."""
+        with self._lock:
+            return self._retained_bytes
+
+    def clear(self) -> None:
+        """Drop every retained buffer."""
+        with self._lock:
+            self._free.clear()
+            self._retained_bytes = 0

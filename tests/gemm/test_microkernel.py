@@ -69,6 +69,26 @@ class TestPanelMatmul:
         np.testing.assert_allclose(c, a @ b, rtol=1e-10, atol=1e-12)
 
 
+class TestUncheckedPath:
+    def test_unchecked_matches_checked(self):
+        rng = np.random.default_rng(3)
+        kern = MicroKernel(mr=4, nr=4, kc=8)
+        a = rng.standard_normal((10, 8))
+        b = rng.standard_normal((8, 9))
+        c1, c2 = np.zeros((10, 9)), np.zeros((10, 9))
+        kern.panel_matmul(a, b, c1)
+        kern.panel_matmul(a, b, c2, checked=False)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_checked_rejects_mismatch_unchecked_defers_to_numpy(self):
+        kern = MicroKernel(mr=4, nr=4, kc=8)
+        a, b, c = np.zeros((3, 5)), np.zeros((4, 2)), np.zeros((3, 2))
+        with pytest.raises(ValueError, match="A cols"):
+            kern.panel_matmul(a, b, c)
+        with pytest.raises(ValueError):  # numpy's own matmul error
+            kern.panel_matmul(a, b, c, checked=False)
+
+
 class TestTileCycles:
     def test_full_tiles(self):
         k = MicroKernel(mr=6, nr=16, kc=32)

@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.packing import pack_a_cake, pack_b_cake, packing_cost
+from repro.packing import (
+    BufferPool,
+    pack_a,
+    pack_a_cake,
+    pack_b,
+    pack_b_cake,
+    packing_cost,
+)
 from repro.machines import intel_i9_10900k
 
 
@@ -79,6 +86,128 @@ class TestPackB:
         packed = pack_b_cake(b, kc, nb)
         rebuilt = np.vstack([np.hstack(row) for row in packed.panels])
         np.testing.assert_array_equal(rebuilt, b)
+
+
+def _assert_grids_bit_identical(fast, oracle):
+    assert len(fast) == len(oracle)
+    for fast_row, oracle_row in zip(fast, oracle):
+        assert len(fast_row) == len(oracle_row)
+        for f, o in zip(fast_row, oracle_row):
+            assert f.shape == o.shape
+            assert f.dtype == o.dtype
+            assert f.flags["C_CONTIGUOUS"]
+            assert f.tobytes() == o.tobytes()  # bit-identical layout
+
+
+class TestVectorizedVsOracle:
+    """The strided packer must match the loop oracle bit for bit."""
+
+    @settings(max_examples=40)
+    @given(small_matrix(), st.integers(1, 16), st.integers(1, 16))
+    def test_pack_a_matches_oracle(self, a, mc, kc):
+        fast = pack_a(a, mc, kc)
+        oracle = pack_a(a, mc, kc, exact=True)
+        _assert_grids_bit_identical(fast.blocks, oracle.blocks)
+
+    @settings(max_examples=40)
+    @given(small_matrix(), st.integers(1, 16), st.integers(1, 16))
+    def test_pack_b_matches_oracle(self, b, kc, nb):
+        fast = pack_b(b, kc, nb)
+        oracle = pack_b(b, kc, nb, exact=True)
+        _assert_grids_bit_identical(fast.panels, oracle.panels)
+
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 37), (37, 1), (31, 29), (97, 89)])
+    def test_prime_ragged_shapes(self, shape, rng):
+        x = rng.standard_normal(shape)
+        for chunk in (1, 2, 7, 13, max(shape)):
+            _assert_grids_bit_identical(
+                pack_a(x, chunk, chunk).blocks,
+                pack_a(x, chunk, chunk, exact=True).blocks,
+            )
+
+    def test_fortran_ordered_input(self, rng):
+        x = np.asfortranarray(rng.standard_normal((45, 37)))
+        _assert_grids_bit_identical(
+            pack_a(x, 8, 5).blocks, pack_a(x, 8, 5, exact=True).blocks
+        )
+
+    def test_transposed_view_input(self, rng):
+        x = rng.standard_normal((37, 45)).T  # F-ordered view, no copy
+        _assert_grids_bit_identical(
+            pack_a(x, 8, 5).blocks, pack_a(x, 8, 5, exact=True).blocks
+        )
+
+    def test_strided_slice_input(self, rng):
+        base = rng.standard_normal((90, 74))
+        x = base[::2, ::2]  # non-contiguous in both dimensions
+        _assert_grids_bit_identical(
+            pack_a(x, 8, 5).blocks, pack_a(x, 8, 5, exact=True).blocks
+        )
+
+    def test_reverse_strided_input(self, rng):
+        x = rng.standard_normal((25, 17))[::-1]
+        _assert_grids_bit_identical(
+            pack_a(x, 8, 5).blocks, pack_a(x, 8, 5, exact=True).blocks
+        )
+
+    def test_float32_dtype_preserved(self, rng):
+        x = rng.standard_normal((25, 17)).astype(np.float32)
+        packed = pack_a(x, 8, 5)
+        assert all(b.dtype == np.float32 for row in packed.blocks for b in row)
+        _assert_grids_bit_identical(
+            packed.blocks, pack_a(x, 8, 5, exact=True).blocks
+        )
+
+
+class TestBufferPool:
+    def test_lease_shape_and_dtype(self):
+        pool = BufferPool()
+        buf = pool.lease((4, 5), np.float32)
+        assert buf.shape == (4, 5) and buf.dtype == np.float32
+
+    def test_release_then_lease_reuses_storage(self):
+        pool = BufferPool()
+        first = pool.lease((8, 8), np.float64)
+        pool.release(first)
+        second = pool.lease((8, 8), np.float64)
+        assert second is first
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_no_cross_shape_reuse(self):
+        pool = BufferPool()
+        pool.release(pool.lease((8, 8), np.float64))
+        other = pool.lease((8, 9), np.float64)
+        assert other.shape == (8, 9)
+        assert pool.hits == 0
+
+    def test_retention_cap_evicts(self):
+        pool = BufferPool(max_retained_bytes=1000)
+        small = np.empty(64, dtype=np.float64)  # 512 B
+        pool.release(small, np.empty(64, dtype=np.float64),
+                     np.empty(64, dtype=np.float64))
+        assert pool.retained_bytes <= 1000
+
+    def test_oversized_buffer_not_retained(self):
+        pool = BufferPool(max_retained_bytes=100)
+        pool.release(np.empty(1000, dtype=np.float64))
+        assert pool.retained_bytes == 0
+
+    def test_pack_through_pool_reuses_buffers(self, rng):
+        pool = BufferPool()
+        x = rng.standard_normal((50, 40))
+        packed = pack_a(x, 8, 6, pool=pool)
+        backing = {id(buf) for buf in packed.buffers}
+        packed.release_to(pool)
+        repacked = pack_a(x + 1.0, 8, 6, pool=pool)
+        assert backing == {id(buf) for buf in repacked.buffers}
+        rebuilt = np.vstack([np.hstack(row) for row in repacked.blocks])
+        np.testing.assert_array_equal(rebuilt, x + 1.0)
+
+    def test_clear(self):
+        pool = BufferPool()
+        pool.release(np.empty(10))
+        pool.clear()
+        assert pool.retained_bytes == 0
 
 
 class TestPackingCost:
