@@ -13,6 +13,7 @@ import numpy as np
 from repro.gemm.cake import CakeGemm
 from repro.gemm.goto import GotoGemm
 from repro.gemm.result import GemmRun
+from repro.gemm.verify import VerifyConfig
 from repro.machines.presets import intel_i9_10900k
 from repro.machines.spec import MachineSpec
 
@@ -25,6 +26,7 @@ def cake_matmul(
     cores: int | None = None,
     alpha: float | None = None,
     workers: int | None = None,
+    verify: bool | VerifyConfig = False,
 ) -> GemmRun:
     """Multiply ``a @ b`` with the CAKE engine.
 
@@ -42,16 +44,24 @@ def cake_matmul(
     workers:
         Host threads for numeric execution (default: serial). The
         product is bit-identical for any worker count.
+    verify:
+        ABFT verified execution (:mod:`repro.gemm.verify`): every block's
+        C update is checksum-validated and self-healed on mismatch, or
+        :class:`~repro.gemm.verify.NumericFaultError` is raised with the
+        faulting block's coordinates. ``True`` for defaults, a
+        :class:`~repro.gemm.verify.VerifyConfig` to tune. A clean
+        verified run returns bit-identical ``c`` and counters.
 
     Returns
     -------
     GemmRun
         ``run.c`` is the product; ``run.gflops`` / ``run.dram_gb_per_s``
-        are the modelled metrics.
+        are the modelled metrics; ``run.verify`` the ABFT accounting
+        when verification ran.
     """
     machine = intel_i9_10900k() if machine is None else machine
     return CakeGemm(
-        machine, cores=cores, alpha=alpha, workers=workers
+        machine, cores=cores, alpha=alpha, workers=workers, verify=verify
     ).multiply(a, b)
 
 
@@ -62,7 +72,10 @@ def goto_matmul(
     machine: MachineSpec | None = None,
     cores: int | None = None,
     workers: int | None = None,
+    verify: bool | VerifyConfig = False,
 ) -> GemmRun:
     """Multiply ``a @ b`` with the GOTO baseline engine (MKL/ARMPL model)."""
     machine = intel_i9_10900k() if machine is None else machine
-    return GotoGemm(machine, cores=cores, workers=workers).multiply(a, b)
+    return GotoGemm(
+        machine, cores=cores, workers=workers, verify=verify
+    ).multiply(a, b)

@@ -19,9 +19,20 @@ timing the benchmarks plot.
 from repro.gemm.microkernel import MicroKernel
 from repro.gemm.naive import naive_matmul, reference_matmul
 from repro.gemm.counters import TrafficCounters
-from repro.gemm.parallel import PhaseTimers, StripTask, run_strip_groups
+from repro.gemm.parallel import (
+    PhaseTimers,
+    StripGroup,
+    StripTask,
+    run_strip_groups,
+)
 from repro.gemm.plan import CakePlan, GotoPlan
-from repro.gemm.result import GemmRun
+from repro.gemm.result import GemmRun, degenerate_run
+from repro.gemm.verify import (
+    NumericFaultError,
+    VerifyConfig,
+    VerifyReport,
+    resolve_verify,
+)
 from repro.gemm.cake import CakeGemm
 from repro.gemm.goto import GotoGemm
 from repro.gemm.blas import gemm
@@ -32,11 +43,17 @@ __all__ = [
     "reference_matmul",
     "TrafficCounters",
     "PhaseTimers",
+    "StripGroup",
     "StripTask",
     "run_strip_groups",
     "CakePlan",
     "GotoPlan",
     "GemmRun",
+    "degenerate_run",
+    "NumericFaultError",
+    "VerifyConfig",
+    "VerifyReport",
+    "resolve_verify",
     "CakeGemm",
     "GotoGemm",
     "gemm",

@@ -38,13 +38,20 @@ from repro.errors import ConfigurationError
 from repro.gemm.counters import TrafficCounters
 from repro.gemm.parallel import (
     PhaseTimers,
+    StripGroup,
     StripTask,
     check_multiply_operands,
     resolve_workers,
     run_strip_groups,
 )
 from repro.gemm.plan import CakePlan
-from repro.gemm.result import GemmRun
+from repro.gemm.result import GemmRun, degenerate_run
+from repro.gemm.verify import (
+    GroupVerifier,
+    VerifyConfig,
+    VerifyReport,
+    resolve_verify,
+)
 from repro.machines.spec import MachineSpec
 from repro.packing.cost import packing_cost
 from repro.packing.pack import pack_a_cake, pack_b_cake
@@ -95,6 +102,13 @@ class CakeGemm:
         Pack operands with the original nested-loop packer instead of
         the vectorized strided copy. Bit-identical buffers (asserted by
         tests); kept as the packing oracle.
+    verify:
+        ABFT verified execution (:mod:`repro.gemm.verify`): ``True`` for
+        defaults, a :class:`~repro.gemm.verify.VerifyConfig` to tune the
+        tolerance band, recovery ladder, or fault-injection plan. Each
+        CB block's C update is checksum-validated at its barrier and
+        healed (or reported) on mismatch; a clean verified run is
+        bit-identical to an unverified one.
     """
 
     def __init__(
@@ -107,6 +121,7 @@ class CakeGemm:
         exact_walk: bool = False,
         workers: int | None = None,
         exact_pack: bool = False,
+        verify: bool | VerifyConfig = False,
     ) -> None:
         self.machine = machine
         self.cores = cores
@@ -115,6 +130,7 @@ class CakeGemm:
         self.exact_walk = exact_walk
         self.workers = resolve_workers(workers)
         self.exact_pack = exact_pack
+        self.verify = resolve_verify(verify)
         self._pool = BufferPool()
 
     # -- public API ----------------------------------------------------------
@@ -134,10 +150,19 @@ class CakeGemm:
         Operands may be F-ordered, transposed views or otherwise
         non-contiguous — packing copies them exactly once either way.
         Integer/boolean dtypes are rejected (silent overflow); float32
-        operands accumulate in float32.
+        operands accumulate in float32. Degenerate shapes follow BLAS:
+        ``K == 0`` returns a zero-filled ``M x N`` C, ``M == 0`` or
+        ``N == 0`` an empty one.
         """
-        check_multiply_operands(a, b)
-        space = ComputationSpace(a.shape[0], b.shape[1], a.shape[1])
+        dtype = check_multiply_operands(a, b)
+        m, k, n = a.shape[0], a.shape[1], b.shape[1]
+        if m == 0 or n == 0 or k == 0:
+            return degenerate_run(
+                "cake", self.machine, m, n, k, dtype,
+                cores=self.cores or self.machine.cores,
+                workers=self.workers,
+            )
+        space = ComputationSpace(m, n, k)
         return self._run(space, a=a, b=b)
 
     def analyze(self, m: int, n: int, k: int) -> GemmRun:
@@ -178,22 +203,25 @@ class CakeGemm:
         kernel = plan.kernel
 
         numeric = a is not None
+        verifying = numeric and self.verify is not None and self.verify.enabled
         timers = PhaseTimers()
         if numeric:
             assert b is not None
             pack_start = time.perf_counter()
             packed_a = pack_a_cake(
-                a, plan.m_block, plan.kc, pool=self._pool, exact=self.exact_pack
+                a, plan.m_block, plan.kc,
+                pool=self._pool, exact=self.exact_pack, checksums=verifying,
             )
             packed_b = pack_b_cake(
-                b, plan.kc, plan.n_block, pool=self._pool, exact=self.exact_pack
+                b, plan.kc, plan.n_block,
+                pool=self._pool, exact=self.exact_pack, checksums=verifying,
             )
             timers.pack_seconds = time.perf_counter() - pack_start
             c = np.zeros((space.m, space.n), dtype=np.result_type(a, b))
         else:
             packed_a = packed_b = None
             c = None
-        groups: list[list[StripTask]] = []
+        groups: list[StripGroup] = []
 
         counters = TrafficCounters()
         counters.ext_pack = 2 * (space.m * space.k + space.k * space.n)
@@ -272,10 +300,10 @@ class CakeGemm:
                 a_block = packed_a.block(coord.mi, coord.ki)
                 b_panel = packed_b.panel(coord.ki, coord.ni)
                 c_view = c[m0 : m0 + ext.m, n0 : n0 + ext.n]
-                group: list[StripTask] = []
+                tasks: list[StripTask] = []
                 r0 = 0
                 for rows in strips:
-                    group.append(
+                    tasks.append(
                         StripTask(
                             a_block[r0 : r0 + rows],
                             b_panel,
@@ -283,21 +311,63 @@ class CakeGemm:
                         )
                     )
                     r0 += rows
-                groups.append(group)
+                groups.append(
+                    StripGroup(
+                        tasks=tasks,
+                        index=len(groups),
+                        coord=(coord.mi, coord.ni, coord.ki),
+                        label=f"cake block (mi={coord.mi}, ni={coord.ni}, "
+                        f"ki={coord.ki})",
+                        checksum_a=(
+                            packed_a.checksum(coord.mi, coord.ki)
+                            if verifying else None
+                        ),
+                        checksum_b=(
+                            packed_b.checksum(coord.ki, coord.ni)
+                            if verifying else None
+                        ),
+                        panel=c_view,
+                        fresh_panel=coord.ki == 0,
+                        operand_a=a_block,
+                        mag_a=(
+                            packed_a.magnitude(coord.mi, coord.ki)
+                            if verifying else None
+                        ),
+                        mag_b=(
+                            packed_b.magnitude(coord.ki, coord.ni)
+                            if verifying else None
+                        ),
+                    )
+                )
 
         if counters.ext_c_spill or counters.ext_c_read:  # pragma: no cover
             raise ConfigurationError(
                 "CAKE's K-first schedule must never spill partial results"
             )
 
+        report = None
         if numeric:
             assert packed_a is not None and packed_b is not None
+            verifier = faults = None
+            if self.verify is not None:
+                if self.verify.inject is not None:
+                    from repro.runtime.faults import NumericFaultInjector
+
+                    faults = NumericFaultInjector(self.verify.inject)
+                if verifying:
+                    report = VerifyReport(
+                        checksum_elements=packed_a.checksum_elements
+                        + packed_b.checksum_elements
+                    )
+                    verifier = GroupVerifier(self.verify, report, timers)
             run_strip_groups(
                 groups,
                 kernel,
                 workers=self.workers,
                 exact_tiles=self.exact_tiles,
                 timers=timers,
+                verifier=verifier,
+                faults=faults,
             )
             packed_a.release_to(self._pool)
             packed_b.release_to(self._pool)
@@ -322,4 +392,5 @@ class CakeGemm:
             c=c,
             workers=self.workers if numeric else 1,
             phase_seconds=timers.as_dict() if numeric else None,
+            verify=report,
         )

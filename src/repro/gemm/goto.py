@@ -27,13 +27,20 @@ import numpy as np
 from repro.gemm.counters import TrafficCounters
 from repro.gemm.parallel import (
     PhaseTimers,
+    StripGroup,
     StripTask,
     check_multiply_operands,
     resolve_workers,
     run_strip_groups,
 )
 from repro.gemm.plan import GotoPlan
-from repro.gemm.result import GemmRun
+from repro.gemm.result import GemmRun, degenerate_run
+from repro.gemm.verify import (
+    GroupVerifier,
+    VerifyConfig,
+    VerifyReport,
+    resolve_verify,
+)
 from repro.machines.spec import MachineSpec
 from repro.packing.cost import packing_cost
 from repro.packing.pack import pack_a_goto, pack_b_goto
@@ -63,6 +70,7 @@ class GotoGemm:
         exact_walk: bool = False,
         workers: int | None = None,
         exact_pack: bool = False,
+        verify: bool | VerifyConfig = False,
     ) -> None:
         self.machine = machine
         self.cores = cores
@@ -70,6 +78,7 @@ class GotoGemm:
         self.exact_walk = exact_walk
         self.workers = resolve_workers(workers)
         self.exact_pack = exact_pack
+        self.verify = resolve_verify(verify)
         self._pool = BufferPool()
 
     # -- public API ----------------------------------------------------------
@@ -87,8 +96,15 @@ class GotoGemm:
         is packed with a single copy, integer dtypes are rejected, and
         float32 stays float32.
         """
-        check_multiply_operands(a, b)
-        space = ComputationSpace(a.shape[0], b.shape[1], a.shape[1])
+        dtype = check_multiply_operands(a, b)
+        m, k, n = a.shape[0], a.shape[1], b.shape[1]
+        if m == 0 or n == 0 or k == 0:
+            return degenerate_run(
+                "goto", self.machine, m, n, k, dtype,
+                cores=self.cores or self.machine.cores,
+                workers=self.workers,
+            )
+        space = ComputationSpace(m, n, k)
         return self._run(space, a=a, b=b)
 
     def analyze(self, m: int, n: int, k: int) -> GemmRun:
@@ -119,22 +135,32 @@ class GotoGemm:
         kernel = plan.kernel
 
         numeric = a is not None
+        verifying = numeric and self.verify is not None and self.verify.enabled
         timers = PhaseTimers()
         if numeric:
             assert b is not None
             pack_start = time.perf_counter()
             packed_a = pack_a_goto(
-                a, plan.mc, plan.kc, pool=self._pool, exact=self.exact_pack
+                a, plan.mc, plan.kc,
+                pool=self._pool, exact=self.exact_pack, checksums=verifying,
             )
             packed_b = pack_b_goto(
-                b, plan.kc, plan.nc, pool=self._pool, exact=self.exact_pack
+                b, plan.kc, plan.nc,
+                pool=self._pool, exact=self.exact_pack, checksums=verifying,
             )
             timers.pack_seconds = time.perf_counter() - pack_start
             c = np.zeros((space.m, space.n), dtype=np.result_type(a, b))
         else:
             packed_a = packed_b = None
             c = None
-        groups: list[list[StripTask]] = []
+        groups: list[StripGroup] = []
+        # A slice-group's column checksum spans every mc-strip of A at
+        # that ki; identical for all ni, so summed once per ki. The
+        # concatenated A operand and its magnitude sums are likewise
+        # shared by every ni at that ki.
+        cs_a_by_ki: dict[int, np.ndarray] = {}
+        a_full_by_ki: dict[int, np.ndarray] = {}
+        mag_a_by_ki: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
         counters = TrafficCounters()
         counters.ext_pack = 2 * (space.m * space.k + space.k * space.n)
@@ -162,7 +188,7 @@ class GotoGemm:
                 # strips may run concurrently; the cross-slice barrier
                 # keeps each C element's accumulation order identical to
                 # the serial nest.
-                group: list[StripTask] = []
+                tasks: list[StripTask] = []
 
                 # Waves of p strips: cores beyond the remaining strip count idle.
                 for wave_start in range(0, len(m_strips), plan.cores):
@@ -215,7 +241,7 @@ class GotoGemm:
                         for lane, rows in enumerate(wave):
                             strip = wave_start + lane
                             m0 = m_offsets[strip]
-                            group.append(
+                            tasks.append(
                                 StripTask(
                                     packed_a.block(strip, ki),
                                     b_panel,
@@ -223,19 +249,87 @@ class GotoGemm:
                                 )
                             )
                 if numeric:
-                    groups.append(group)
+                    assert packed_a is not None and packed_b is not None
+                    cs_a = cs_b = a_full = mag_a = mag_b = None
+                    if verifying:
+                        if ki not in cs_a_by_ki:
+                            acc = packed_a.checksum(0, ki).copy()
+                            for strip in range(1, len(m_strips)):
+                                acc += packed_a.checksum(strip, ki)
+                            cs_a_by_ki[ki] = acc
+                            a_buf = self._pool.lease(
+                                (space.m, kc_actual),
+                                packed_a.block(0, ki).dtype,
+                            )
+                            np.concatenate(
+                                [
+                                    packed_a.block(strip, ki)
+                                    for strip in range(len(m_strips))
+                                ],
+                                axis=0,
+                                out=a_buf,
+                            )
+                            a_full_by_ki[ki] = a_buf
+                            col_acc = packed_a.magnitude(0, ki)[0].copy()
+                            row_parts = [packed_a.magnitude(0, ki)[1]]
+                            for strip in range(1, len(m_strips)):
+                                s_col, s_row = packed_a.magnitude(strip, ki)
+                                col_acc += s_col
+                                row_parts.append(s_row)
+                            mag_a_by_ki[ki] = (
+                                col_acc, np.concatenate(row_parts)
+                            )
+                        cs_a = cs_a_by_ki[ki]
+                        cs_b = packed_b.checksum(ki, ni)
+                        a_full = a_full_by_ki[ki]
+                        mag_a = mag_a_by_ki[ki]
+                        mag_b = packed_b.magnitude(ki, ni)
+                    groups.append(
+                        StripGroup(
+                            tasks=tasks,
+                            index=len(groups),
+                            coord=(ni, ki),
+                            label=f"goto slice (ni={ni}, ki={ki})",
+                            checksum_a=cs_a,
+                            checksum_b=cs_b,
+                            panel=c[
+                                :, n_offsets[ni] : n_offsets[ni] + nc_actual
+                            ],
+                            fresh_panel=ki == 0,
+                            operand_a=a_full,
+                            mag_a=mag_a,
+                            mag_b=mag_b,
+                        )
+                    )
 
+        report = None
         if numeric:
             assert packed_a is not None and packed_b is not None
+            verifier = faults = None
+            if self.verify is not None:
+                if self.verify.inject is not None:
+                    from repro.runtime.faults import NumericFaultInjector
+
+                    faults = NumericFaultInjector(self.verify.inject)
+                if verifying:
+                    report = VerifyReport(
+                        checksum_elements=packed_a.checksum_elements
+                        + packed_b.checksum_elements
+                    )
+                    verifier = GroupVerifier(self.verify, report, timers)
             run_strip_groups(
                 groups,
                 kernel,
                 workers=self.workers,
                 exact_tiles=self.exact_tiles,
                 timers=timers,
+                verifier=verifier,
+                faults=faults,
             )
             packed_a.release_to(self._pool)
             packed_b.release_to(self._pool)
+            if a_full_by_ki:
+                self._pool.release(*a_full_by_ki.values())
 
         return GemmRun(
             engine="goto",
@@ -255,6 +349,7 @@ class GotoGemm:
             c=c,
             workers=self.workers if numeric else 1,
             phase_seconds=timers.as_dict() if numeric else None,
+            verify=report,
         )
 
 

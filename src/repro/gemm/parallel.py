@@ -44,7 +44,27 @@ profile the engine:
   by up to ``w``; the ratio is the achieved parallelism);
 * ``reduce`` — orchestrator time blocked on group barriers waiting for
   workers to finish (load imbalance + GIL contention indicator; zero on
-  the inline ``workers=1`` path).
+  the inline ``workers=1`` path);
+* ``verify`` / ``recover`` — ABFT checksum validation and recovery-ladder
+  time when the run executes verified (:mod:`repro.gemm.verify`); zero
+  otherwise.
+
+Verified execution
+------------------
+
+When the engine passes a :class:`~repro.gemm.verify.GroupVerifier`, each
+group asks the verifier for a restore point before its strips are
+submitted (usually free: a fresh or fully-verified panel is rebuilt by
+replaying its history, so only unknown mid-accumulation panels are
+copied) and the checksum identities are checked **at the group
+barrier**, on the orchestrator thread. Recovery (strip recompute,
+oracle fallback) therefore
+completes before the next group starts — the ``+=`` order every C element
+sees is unchanged, which is what keeps a healed run bit-identical to a
+clean one for any worker count. Fault injection
+(:class:`~repro.runtime.faults.NumericFaultInjector`) hooks the same
+seam: a strip's output panel is corrupted right after its kernel call,
+keyed deterministically by ``(group, strip)``.
 """
 
 from __future__ import annotations
@@ -52,12 +72,16 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, NamedTuple, Sequence
+from typing import TYPE_CHECKING, Iterable, NamedTuple, Sequence
 
 import numpy as np
 
 from repro.gemm.microkernel import MicroKernel
 from repro.util import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.gemm.verify import GroupVerifier
+    from repro.runtime.faults import NumericFaultInjector
 
 
 class StripTask(NamedTuple):
@@ -68,13 +92,52 @@ class StripTask(NamedTuple):
     c: np.ndarray
 
 
+class StripGroup(NamedTuple):
+    """One barrier's worth of strips, plus its ABFT identity material.
+
+    Engines that run unverified may keep handing the executor plain
+    sequences of :class:`StripTask`; the executor wraps them. ``index``
+    is the group's position in the schedule (the fault-injection key),
+    ``coord``/``label`` identify the block in error reports, and the
+    checksum vectors are the pack-time ``colsum(A_group)`` (length ``k``)
+    and ``rowsum(B_group)`` (length ``k``) driving the column/row
+    identities. ``checksum_a is None`` means the group runs unverified.
+    ``panel``, when an engine can provide it, is the single C view whose
+    rows are exactly the tasks' C strips stacked in task order — it lets
+    the verifier snapshot and reduce the whole panel in one numpy call
+    each instead of stacking the strips itself. ``operand_a`` plays the
+    same role for the A side: one array whose rows are the tasks' A
+    strips in task order. ``mag_a``/``mag_b`` are the group operands'
+    pack-time absolute-value sums ``(|X|.sum(axis=0), |X|.sum(axis=1))``
+    — with them the verifier's tolerance band costs O(m + n) vector
+    arithmetic per group instead of a fresh ``|A|``/``|B|`` scan.
+    """
+
+    tasks: Sequence[StripTask]
+    index: int = 0
+    coord: tuple = ()
+    label: str = "block"
+    checksum_a: np.ndarray | None = None
+    checksum_b: np.ndarray | None = None
+    panel: np.ndarray | None = None
+    #: True when this group is the first update of its C panel and the
+    #: panel is still all-zero — the verifier then skips the snapshot
+    #: copy (restore is a zero fill) and starts from zero "before" sums.
+    fresh_panel: bool = False
+    operand_a: np.ndarray | None = None
+    mag_a: tuple[np.ndarray, np.ndarray] | None = None
+    mag_b: tuple[np.ndarray, np.ndarray] | None = None
+
+
 @dataclass(slots=True)
 class PhaseTimers:
-    """Wall-clock pack / compute / reduce accounting for one run."""
+    """Wall-clock pack/compute/reduce/verify/recover accounting."""
 
     pack_seconds: float = 0.0
     compute_seconds: float = 0.0
     reduce_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    recover_seconds: float = 0.0
     #: Workers the run was executed with (1 = inline serial path).
     workers: int = 1
 
@@ -84,6 +147,8 @@ class PhaseTimers:
             "pack": self.pack_seconds,
             "compute": self.compute_seconds,
             "reduce": self.reduce_seconds,
+            "verify": self.verify_seconds,
+            "recover": self.recover_seconds,
         }
 
 
@@ -128,22 +193,44 @@ def check_multiply_operands(a: np.ndarray, b: np.ndarray) -> np.dtype:
     return out
 
 
-def _timed_strip(kernel: MicroKernel, task: StripTask, exact_tiles: bool) -> float:
-    """Execute one strip, returning its kernel wall time."""
+def _timed_strip(
+    kernel: MicroKernel,
+    task: StripTask,
+    exact_tiles: bool,
+    group_index: int = 0,
+    strip_index: int = 0,
+    faults: "NumericFaultInjector | None" = None,
+) -> float:
+    """Execute one strip, returning its kernel wall time.
+
+    Injected corruption lands right after the kernel call — the seam a
+    soft error or bad thread would hit — keyed ``(group, strip)`` so the
+    same strips corrupt for any worker count.
+    """
     start = time.perf_counter()
     kernel.panel_matmul(
         task.a, task.b, task.c, exact_tiles=exact_tiles, checked=False
     )
+    if faults is not None:
+        faults.corrupt(group_index, strip_index, task.c)
     return time.perf_counter() - start
 
 
+def _as_group(group: "StripGroup | Sequence[StripTask]", index: int) -> StripGroup:
+    if isinstance(group, StripGroup):
+        return group
+    return StripGroup(tasks=group, index=index)
+
+
 def run_strip_groups(
-    groups: Iterable[Sequence[StripTask]],
+    groups: "Iterable[StripGroup | Sequence[StripTask]]",
     kernel: MicroKernel,
     *,
     workers: int = 1,
     exact_tiles: bool = False,
     timers: PhaseTimers | None = None,
+    verifier: "GroupVerifier | None" = None,
+    faults: "NumericFaultInjector | None" = None,
 ) -> PhaseTimers:
     """Execute an ordered sequence of strip groups, barrier per group.
 
@@ -152,6 +239,14 @@ def run_strip_groups(
     issue identical kernel calls in a per-C-row identical order, so the
     numeric result is bit-for-bit the same for any worker count.
 
+    Groups may be plain sequences of :class:`StripTask` (unverified runs)
+    or :class:`StripGroup` records carrying checksum material. With a
+    ``verifier``, each group gets a restore point before dispatch and is
+    checked —
+    recovering if needed — at its barrier, on this (the orchestrator)
+    thread; ``faults`` deterministically corrupts strip outputs to drive
+    the recovery ladder.
+
     The pool is created per call, which keeps one engine object safe to
     run from multiple threads concurrently (no shared mutable executor
     state; the buffer pool is lock-guarded separately).
@@ -159,21 +254,41 @@ def run_strip_groups(
     timers = timers if timers is not None else PhaseTimers()
     timers.workers = max(timers.workers, workers)
     if workers <= 1:
-        for group in groups:
-            for task in group:
-                timers.compute_seconds += _timed_strip(kernel, task, exact_tiles)
+        for index, raw in enumerate(groups):
+            group = _as_group(raw, index)
+            snaps = verifier.snapshot(group) if verifier is not None else None
+            for strip, task in enumerate(group.tasks):
+                timers.compute_seconds += _timed_strip(
+                    kernel, task, exact_tiles, group.index, strip, faults
+                )
+            if verifier is not None:
+                verifier.check_and_recover(
+                    group, snaps, kernel, exact_tiles, faults
+                )
         return timers
 
     with ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="cake-gemm"
     ) as pool:
-        for group in groups:
+        for index, raw in enumerate(groups):
+            group = _as_group(raw, index)
+            snaps = verifier.snapshot(group) if verifier is not None else None
             futures = [
-                pool.submit(_timed_strip, kernel, task, exact_tiles)
-                for task in group
+                pool.submit(
+                    _timed_strip, kernel, task, exact_tiles,
+                    group.index, strip, faults,
+                )
+                for strip, task in enumerate(group.tasks)
             ]
             barrier_start = time.perf_counter()
             # Propagate worker exceptions eagerly; sum kernel seconds.
             timers.compute_seconds += sum(f.result() for f in futures)
             timers.reduce_seconds += time.perf_counter() - barrier_start
+            if verifier is not None:
+                # Inside the barrier: the next group does not start until
+                # this one verified (and healed), so recovery is ordered
+                # identically for any worker count.
+                verifier.check_and_recover(
+                    group, snaps, kernel, exact_tiles, faults
+                )
     return timers

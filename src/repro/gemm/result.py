@@ -10,13 +10,17 @@ as in the paper's measurements (Section 5.2.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.gemm.counters import TrafficCounters
 from repro.machines.spec import MachineSpec
-from repro.perfmodel.roofline import BlockTime
-from repro.schedule.space import ComputationSpace
+from repro.perfmodel.roofline import ZERO_TIME, BlockTime
+from repro.schedule.space import ComputationSpace, DegenerateSpace
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.gemm.verify import VerifyReport
 
 
 @dataclass(slots=True)
@@ -53,14 +57,23 @@ class GemmRun:
     phase_seconds:
         Measured wall-clock of the numeric run's phases — ``pack``
         (packed-operand construction), ``compute`` (kernel time summed
-        across workers), ``reduce`` (orchestrator barrier waits). ``None``
-        for analytic-only runs. This is host wall time, *not* the modelled
-        :attr:`seconds`; it exists so the execution engine can be profiled.
+        across workers), ``reduce`` (orchestrator barrier waits),
+        ``verify``/``recover`` (ABFT checksum validation and recovery).
+        ``None`` for analytic-only runs. This is host wall time, *not* the
+        modelled :attr:`seconds`; it exists so the execution engine can be
+        profiled.
+    verify:
+        ABFT accounting when the run executed verified
+        (:mod:`repro.gemm.verify`): blocks checked, mismatches seen,
+        recoveries taken, checksum surface carried. ``None`` for
+        unverified runs — TrafficCounters themselves never change with
+        verification, which is what keeps verified and unverified
+        accounting bit-identical.
     """
 
     engine: str
     machine: MachineSpec
-    space: ComputationSpace
+    space: ComputationSpace | DegenerateSpace
     cores: int
     counters: TrafficCounters
     time: BlockTime
@@ -70,6 +83,7 @@ class GemmRun:
     c: np.ndarray | None = None
     workers: int = 1
     phase_seconds: dict[str, float] | None = None
+    verify: "VerifyReport | None" = None
 
     @property
     def seconds(self) -> float:
@@ -83,7 +97,13 @@ class GemmRun:
 
     @property
     def gflops(self) -> float:
-        """Computation throughput, packing overhead included."""
+        """Computation throughput, packing overhead included.
+
+        Zero for degenerate (zero-volume) runs, which take zero modelled
+        time.
+        """
+        if self.seconds == 0.0:
+            return 0.0
         return self.flops / self.seconds / 1e9
 
     @property
@@ -100,13 +120,33 @@ class GemmRun:
         )
 
     @property
+    def dram_bytes_with_verify(self) -> float:
+        """External traffic including the ABFT checksum surfaces.
+
+        The constant-bandwidth claim re-checked *with* verification
+        overhead: the checksum vectors add ``O(M*Kb + K*Nb)`` elements on
+        top of the ``O(MK + KN + MN)`` operand traffic — for square
+        problems a vanishing fraction, which tests pin. Equals
+        :attr:`dram_bytes` for unverified runs.
+        """
+        if self.verify is None:
+            return self.dram_bytes
+        return self.dram_bytes + self.verify.checksum_bytes(
+            self.machine.element_bytes
+        ) * self.machine.external_traffic_factor
+
+    @property
     def dram_gb_per_s(self) -> float:
         """Average observed DRAM bandwidth over the whole run."""
+        if self.seconds == 0.0:
+            return 0.0
         return self.dram_bytes / self.seconds / 1e9
 
     @property
     def arithmetic_intensity(self) -> float:
         """FLOPs per external byte actually moved."""
+        if self.dram_bytes == 0.0:
+            return 0.0
         return self.flops / self.dram_bytes
 
     def summary(self) -> dict[str, float]:
@@ -119,3 +159,34 @@ class GemmRun:
             "arithmetic_intensity": self.arithmetic_intensity,
             "packing_seconds": self.packing_seconds,
         }
+
+
+def degenerate_run(
+    engine: str,
+    machine: MachineSpec,
+    m: int,
+    n: int,
+    k: int,
+    dtype: np.dtype,
+    *,
+    cores: int,
+    workers: int,
+) -> GemmRun:
+    """The result of a zero-volume multiply, BLAS-style.
+
+    ``K == 0`` yields a zero-filled ``M x N`` C (an empty sum); ``M == 0``
+    or ``N == 0`` an empty one. No packing, no schedule walk, no traffic —
+    every counter and timing is zero, and the derived-rate properties on
+    :class:`GemmRun` guard the resulting divisions.
+    """
+    return GemmRun(
+        engine=engine,
+        machine=machine,
+        space=DegenerateSpace(m, n, k),
+        cores=cores,
+        counters=TrafficCounters(),
+        time=ZERO_TIME,
+        packing_seconds=0.0,
+        c=np.zeros((m, n), dtype=dtype),
+        workers=workers,
+    )

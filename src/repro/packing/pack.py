@@ -29,11 +29,31 @@ Two implementations produce bit-identical buffers:
 
 Buffers can come from a :class:`repro.packing.pool.BufferPool` so service
 loops reuse packed storage across calls instead of reallocating.
+
+ABFT checksums
+--------------
+
+With ``checksums=True`` each packed block additionally carries its ABFT
+checksum vector, computed at pack time while the block is cache-hot:
+
+* A blocks get **column** checksums (sum over rows — length ``kc``),
+* B panels get **row** checksums (sum over columns — length ``kc``),
+* both also get **magnitude** sums — ``|block|`` reduced along each axis
+  — which the verifier turns into tolerance bounds without rescanning
+  the operands at check time.
+
+All of a matrix's checksum and magnitude vectors live in flat pool-leased
+buffers (returned with the block buffers by ``release_to``), filled in
+place with ``np.sum(..., out=view)``. Computing them here rather than at
+verify time is what makes verification cheap: a B panel's checksum is
+reused by every block that touches the panel, mirroring how CAKE reuses
+the panel itself.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
@@ -57,6 +77,16 @@ class PackedA:
     #: Backing buffers (vectorized path only) — handed back to the buffer
     #: pool via :meth:`release_to` when the run that leased them is done.
     buffers: tuple[np.ndarray, ...] = field(default=(), repr=False)
+    #: Per-block ABFT column checksums (``checksums=True`` packs only):
+    #: ``checksums[si][ki]`` is ``blocks[si][ki].sum(axis=0)``.
+    checksums: list[list[np.ndarray]] | None = field(default=None, repr=False)
+    #: Per-block absolute-value magnitude sums (``checksums=True`` packs
+    #: only): ``magnitudes[si][ki]`` is the pair
+    #: ``(|block|.sum(axis=0), |block|.sum(axis=1))`` — the tolerance-band
+    #: material the verifier reads instead of re-scanning ``|A|``.
+    magnitudes: list[list[tuple[np.ndarray, np.ndarray]]] | None = field(
+        default=None, repr=False
+    )
 
     @property
     def strips(self) -> int:
@@ -73,9 +103,34 @@ class PackedA:
         """Total packed elements (equals the source matrix's size)."""
         return sum(b.size for row in self.blocks for b in row)
 
+    @property
+    def checksum_elements(self) -> int:
+        """Total checksum + magnitude elements carried (0 unless
+        checksummed)."""
+        if self.checksums is None:
+            return 0
+        total = sum(v.size for row in self.checksums for v in row)
+        if self.magnitudes is not None:
+            total += sum(
+                a.size + b.size for row in self.magnitudes for a, b in row
+            )
+        return total
+
     def block(self, strip: int, k_panel: int) -> np.ndarray:
         """The contiguous ``mc x kc`` sub-block at (strip, k_panel)."""
         return self.blocks[strip][k_panel]
+
+    def checksum(self, strip: int, k_panel: int) -> np.ndarray:
+        """The block's pack-time column checksum (length = block cols)."""
+        if self.checksums is None:
+            raise ValueError("packed without checksums=True")
+        return self.checksums[strip][k_panel]
+
+    def magnitude(self, strip: int, k_panel: int) -> tuple[np.ndarray, np.ndarray]:
+        """The block's ``(|.|.sum(axis=0), |.|.sum(axis=1))`` pair."""
+        if self.magnitudes is None:
+            raise ValueError("packed without checksums=True")
+        return self.magnitudes[strip][k_panel]
 
     def release_to(self, pool: BufferPool | None) -> None:
         """Return backing buffers to ``pool`` (no-op without one)."""
@@ -95,6 +150,15 @@ class PackedB:
     kc: int
     n_block: int
     buffers: tuple[np.ndarray, ...] = field(default=(), repr=False)
+    #: Per-panel ABFT row checksums (``checksums=True`` packs only):
+    #: ``checksums[ki][ni]`` is ``panels[ki][ni].sum(axis=1)``.
+    checksums: list[list[np.ndarray]] | None = field(default=None, repr=False)
+    #: Per-panel absolute-value magnitude sums, same layout as
+    #: :attr:`PackedA.magnitudes`: ``(|panel|.sum(axis=0),
+    #: |panel|.sum(axis=1))``.
+    magnitudes: list[list[tuple[np.ndarray, np.ndarray]]] | None = field(
+        default=None, repr=False
+    )
 
     @property
     def k_panels(self) -> int:
@@ -111,9 +175,34 @@ class PackedB:
         """Total packed elements (equals the source matrix's size)."""
         return sum(p.size for row in self.panels for p in row)
 
+    @property
+    def checksum_elements(self) -> int:
+        """Total checksum + magnitude elements carried (0 unless
+        checksummed)."""
+        if self.checksums is None:
+            return 0
+        total = sum(v.size for row in self.checksums for v in row)
+        if self.magnitudes is not None:
+            total += sum(
+                a.size + b.size for row in self.magnitudes for a, b in row
+            )
+        return total
+
     def panel(self, k_panel: int, n_panel: int) -> np.ndarray:
         """The contiguous ``kc x n_block`` panel at (k_panel, n_panel)."""
         return self.panels[k_panel][n_panel]
+
+    def checksum(self, k_panel: int, n_panel: int) -> np.ndarray:
+        """The panel's pack-time row checksum (length = panel rows)."""
+        if self.checksums is None:
+            raise ValueError("packed without checksums=True")
+        return self.checksums[k_panel][n_panel]
+
+    def magnitude(self, k_panel: int, n_panel: int) -> tuple[np.ndarray, np.ndarray]:
+        """The panel's ``(|.|.sum(axis=0), |.|.sum(axis=1))`` pair."""
+        if self.magnitudes is None:
+            raise ValueError("packed without checksums=True")
+        return self.magnitudes[k_panel][n_panel]
 
     def release_to(self, pool: BufferPool | None) -> None:
         """Return backing buffers to ``pool`` (no-op without one)."""
@@ -128,20 +217,33 @@ def pack_a(
     *,
     pool: BufferPool | None = None,
     exact: bool = False,
+    checksums: bool = False,
 ) -> PackedA:
     """Pack matrix ``a`` into contiguous ``mc x kc`` sub-blocks.
 
     ``exact=True`` routes through the per-block loop oracle (bit-identical
     output, no pooling); the default builds the same blocks with a few
-    large strided copies.
+    large strided copies. ``checksums=True`` additionally computes each
+    block's ABFT column checksum (``block.sum(axis=0)``) at pack time.
     """
     _check_matrix("a", a)
     require_positive("mc", mc)
     require_positive("kc", kc)
     if exact:
-        return PackedA(blocks=_pack_grid_loop(a, mc, kc), mc=mc, kc=kc)
-    blocks, buffers = _pack_grid(a, mc, kc, pool)
-    return PackedA(blocks=blocks, mc=mc, kc=kc, buffers=buffers)
+        blocks = _pack_grid_loop(a, mc, kc)
+        cs = mags = None
+        if checksums:
+            cs, mags, _, _ = _checksum_grids(blocks, 0, None)
+        return PackedA(blocks=blocks, mc=mc, kc=kc, checksums=cs, magnitudes=mags)
+    blocks, buffers, parts = _pack_grid(a, mc, kc, pool)
+    cs = mags = None
+    if checksums:
+        cs, mags, held = _checksum_grids_fast(blocks, parts, 0, pool)
+        buffers = buffers + held
+    return PackedA(
+        blocks=blocks, mc=mc, kc=kc, buffers=buffers,
+        checksums=cs, magnitudes=mags,
+    )
 
 
 def pack_b(
@@ -151,19 +253,33 @@ def pack_b(
     *,
     pool: BufferPool | None = None,
     exact: bool = False,
+    checksums: bool = False,
 ) -> PackedB:
     """Pack matrix ``b`` into contiguous ``kc x n_block`` panels.
 
     Same contract as :func:`pack_a` (B's rows are cut by ``kc``, its
-    columns by ``n_block``).
+    columns by ``n_block``; checksums are **row** sums, ``panel.sum(axis=1)``).
     """
     _check_matrix("b", b)
     require_positive("kc", kc)
     require_positive("n_block", n_block)
     if exact:
-        return PackedB(panels=_pack_grid_loop(b, kc, n_block), kc=kc, n_block=n_block)
-    panels, buffers = _pack_grid(b, kc, n_block, pool)
-    return PackedB(panels=panels, kc=kc, n_block=n_block, buffers=buffers)
+        panels = _pack_grid_loop(b, kc, n_block)
+        cs = mags = None
+        if checksums:
+            cs, mags, _, _ = _checksum_grids(panels, 1, None)
+        return PackedB(
+            panels=panels, kc=kc, n_block=n_block, checksums=cs, magnitudes=mags
+        )
+    panels, buffers, parts = _pack_grid(b, kc, n_block, pool)
+    cs = mags = None
+    if checksums:
+        cs, mags, held = _checksum_grids_fast(panels, parts, 1, pool)
+        buffers = buffers + held
+    return PackedB(
+        panels=panels, kc=kc, n_block=n_block, buffers=buffers,
+        checksums=cs, magnitudes=mags,
+    )
 
 
 # Engine-specific aliases: CAKE and GOTO pack identically at this
@@ -178,12 +294,29 @@ pack_b_goto = pack_b
 # -- vectorized packing -------------------------------------------------------
 
 
+class _GridParts(NamedTuple):
+    """The <= 4 backing buffers of a vectorized pack, plus grid extents.
+
+    ``main`` holds the uniform interior blocks block-major; ``right``,
+    ``bottom`` and ``corner`` the ragged edges. ``r_full``/``c_full``
+    count full-size block rows/columns — the grid coordinates where the
+    edge buffers start.
+    """
+
+    main: np.ndarray | None
+    right: np.ndarray | None
+    bottom: np.ndarray | None
+    corner: np.ndarray | None
+    r_full: int
+    c_full: int
+
+
 def _pack_grid(
     x: np.ndarray,
     row_chunk: int,
     col_chunk: int,
     pool: BufferPool | None,
-) -> tuple[list[list[np.ndarray]], tuple[np.ndarray, ...]]:
+) -> tuple[list[list[np.ndarray]], tuple[np.ndarray, ...], _GridParts]:
     """Blocked copy of ``x`` as C-contiguous views into <= 4 big buffers.
 
     The interior blocks (all full ``row_chunk x col_chunk``) land in one
@@ -250,7 +383,136 @@ def _pack_grid(
             else:
                 row.append(corner)
         grid.append(row)
-    return grid, tuple(buffers)
+    return grid, tuple(buffers), _GridParts(
+        main, right, bottom, corner, r_full, c_full
+    )
+
+
+# -- ABFT checksum vectors ----------------------------------------------------
+
+
+def _checksum_grids(
+    grid: list[list[np.ndarray]],
+    axis: int,
+    pool: BufferPool | None,
+) -> tuple[
+    list[list[np.ndarray]],
+    list[list[tuple[np.ndarray, np.ndarray]]],
+    np.ndarray,
+    np.ndarray,
+]:
+    """Per-block checksum and magnitude vectors, in flat leased buffers.
+
+    ``axis=0`` sums over rows (A's column checksums), ``axis=1`` over
+    columns (B's row checksums). Alongside each checksum, every block
+    yields its magnitude pair ``(|blk|.sum(axis=0), |blk|.sum(axis=1))``
+    — the verifier's tolerance-band material, from which a group
+    update's column/row magnitude bounds derive with O(m + n) vector
+    arithmetic, so the verify path never rescans ``|A|`` or ``|B|``.
+
+    All vectors are views into two 1-D buffers — two pool leases for the
+    whole matrix — filled in place with ``np.sum(..., out=view)``. Both
+    reductions of a block run back to back while it is cache-resident,
+    so the matrix streams from DRAM once, not twice.
+    """
+    cs_total = sum(blk.shape[1 - axis] for row in grid for blk in row)
+    mag_total = sum(blk.shape[0] + blk.shape[1] for row in grid for blk in row)
+    lease = pool.lease if pool is not None else np.empty
+    cs_buf = lease((cs_total,), grid[0][0].dtype)
+    mag_buf = lease((mag_total,), grid[0][0].dtype)
+    scratch: dict[tuple[int, int], np.ndarray] = {}  # <= 4 block shapes
+    cs_out: list[list[np.ndarray]] = []
+    mag_out: list[list[tuple[np.ndarray, np.ndarray]]] = []
+    cs_off = mag_off = 0
+    for row in grid:
+        cs_vecs: list[np.ndarray] = []
+        mag_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+        for blk in row:
+            view = cs_buf[cs_off : cs_off + blk.shape[1 - axis]]
+            np.sum(blk, axis=axis, out=view)
+            cs_vecs.append(view)
+            cs_off += view.size
+            ab = scratch.get(blk.shape)
+            if ab is None or ab.dtype != blk.dtype:
+                ab = lease(blk.shape, blk.dtype)
+                scratch[blk.shape] = ab
+            np.abs(blk, out=ab)
+            cols = mag_buf[mag_off : mag_off + blk.shape[1]]
+            np.sum(ab, axis=0, out=cols)
+            mag_off += cols.size
+            rows_v = mag_buf[mag_off : mag_off + blk.shape[0]]
+            np.sum(ab, axis=1, out=rows_v)
+            mag_off += rows_v.size
+            mag_pairs.append((cols, rows_v))
+        cs_out.append(cs_vecs)
+        mag_out.append(mag_pairs)
+    if pool is not None:
+        pool.release(*scratch.values())
+    return cs_out, mag_out, cs_buf, mag_buf
+
+
+def _checksum_grids_fast(
+    grid: list[list[np.ndarray]],
+    parts: _GridParts,
+    axis: int,
+    pool: BufferPool | None,
+) -> tuple[
+    list[list[np.ndarray]],
+    list[list[tuple[np.ndarray, np.ndarray]]],
+    tuple[np.ndarray, ...],
+]:
+    """Checksums + magnitudes as whole-buffer reductions.
+
+    Same outputs as :func:`_checksum_grids`, but each backing buffer of
+    the vectorized pack is reduced with one numpy call per result
+    (checksum, ``|.|`` per-column sums, ``|.|`` per-row sums) — the
+    matrix streams once and no python loop runs per block. Bit-identical
+    to the per-block path: each block's reduction covers the same
+    contiguous elements in the same pairwise order.
+    """
+    lease = pool.lease if pool is not None else np.empty
+    held: list[np.ndarray] = []
+
+    def reduce_part(arr: np.ndarray, ra: int, ca: int):
+        ab = lease(arr.shape, arr.dtype)
+        np.abs(arr, out=ab)
+        outs = []
+        for src, ax in ((arr, ra if axis == 0 else ca), (ab, ra), (ab, ca)):
+            out = lease(src.shape[:ax] + src.shape[ax + 1 :], arr.dtype)
+            np.sum(src, axis=ax, out=out)
+            outs.append(out)
+            held.append(out)
+        if pool is not None:
+            pool.release(ab)
+        return outs
+
+    nb_c = len(grid[0])
+    cs_grid: list[list[np.ndarray]] = [[None] * nb_c for _ in grid]
+    mag_grid: list[list[tuple[np.ndarray, np.ndarray]]] = [
+        [None] * nb_c for _ in grid
+    ]
+    rf, cf = parts.r_full, parts.c_full
+    if parts.main is not None:
+        cs, m0, m1 = reduce_part(parts.main, 2, 3)
+        for i in range(rf):
+            for j in range(cf):
+                cs_grid[i][j] = cs[i, j]
+                mag_grid[i][j] = (m0[i, j], m1[i, j])
+    if parts.right is not None:
+        cs, m0, m1 = reduce_part(parts.right, 1, 2)
+        for i in range(rf):
+            cs_grid[i][cf] = cs[i]
+            mag_grid[i][cf] = (m0[i], m1[i])
+    if parts.bottom is not None:
+        cs, m0, m1 = reduce_part(parts.bottom, 1, 2)
+        for j in range(cf):
+            cs_grid[rf][j] = cs[j]
+            mag_grid[rf][j] = (m0[j], m1[j])
+    if parts.corner is not None:
+        cs, m0, m1 = reduce_part(parts.corner, 0, 1)
+        cs_grid[rf][cf] = cs
+        mag_grid[rf][cf] = (m0, m1)
+    return cs_grid, mag_grid, tuple(held)
 
 
 # -- the loop oracle ----------------------------------------------------------

@@ -58,7 +58,14 @@ class BufferPool:
         return (tuple(shape), np.dtype(dtype).str)
 
     def lease(self, shape: tuple[int, ...], dtype) -> np.ndarray:
-        """An uninitialised C-contiguous array of ``shape``/``dtype``."""
+        """An uninitialised C-contiguous array of ``shape``/``dtype``.
+
+        Zero-element requests short-circuit: an empty array costs nothing
+        to allocate, so it never takes the lock, never counts toward
+        hit/miss stats, and is never retained by :meth:`release`.
+        """
+        if any(extent == 0 for extent in shape):
+            return np.empty(shape, dtype=dtype)
         key = self._key(shape, dtype)
         with self._lock:
             bucket = self._free.get(key)
@@ -76,8 +83,8 @@ class BufferPool:
         """Return buffers to the pool (caller must drop its references)."""
         with self._lock:
             for buf in buffers:
-                if buf.nbytes > self.max_retained_bytes:
-                    continue  # would evict everything else; not worth keeping
+                if buf.nbytes > self.max_retained_bytes or buf.size == 0:
+                    continue  # too big to retain / nothing to reuse
                 key = self._key(buf.shape, buf.dtype)
                 self._free.setdefault(key, []).append(buf)
                 self._free.move_to_end(key)

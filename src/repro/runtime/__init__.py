@@ -37,6 +37,9 @@ from repro.runtime.faults import (
     FaultPlan,
     FaultRule,
     InjectedFault,
+    NumericFaultInjector,
+    NumericFaultPlan,
+    NumericFaultRule,
 )
 from repro.runtime.jsonout import (
     BENCH_SCHEMA,
@@ -71,6 +74,9 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
+    "NumericFaultInjector",
+    "NumericFaultPlan",
+    "NumericFaultRule",
     "BENCH_SCHEMA",
     "bench_payload",
     "rows_from_report",

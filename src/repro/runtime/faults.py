@@ -34,15 +34,33 @@ processes (marked via the pool initializer). In inline execution —
 including the runtime's degraded serial fallback — they downgrade to
 ``raise`` so an injected fault can never take down or stall the
 orchestrating process itself.
+
+Numeric faults
+--------------
+
+The rules above misbehave at the *task* boundary. The GEMM engines have
+a second, finer-grained backend: :class:`NumericFaultRule` corrupts the
+**numeric output of one strip** inside the strip-group executor
+(:mod:`repro.gemm.parallel`) — a bit flip, a scaled perturbation, or a
+zeroed panel — which is how the ABFT verification layer
+(:mod:`repro.gemm.verify`) proves its detection and recovery ladder
+end-to-end. Rules are keyed by ``(block, strip)`` indices of the
+executor's deterministic group schedule and fire on the first ``times``
+*attempts* of each matching strip (a recomputation during recovery is a
+new attempt), so the corruption schedule is a pure function of the plan
+— never of thread timing or worker count.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
+
+import numpy as np
 
 from repro.errors import CakeError
 
@@ -189,3 +207,141 @@ class FaultInjector:
             f"{rule.kind} fault injected for task {task_id} "
             f"(attempt {attempt}): {rule.message}"
         )
+
+
+# -- numeric faults (strip-output corruption) ---------------------------------
+
+_NUMERIC_KINDS = ("bitflip", "scale", "zero")
+
+#: Default bit to flip per element width: the most-significant exponent
+#: bit, so a flipped value lands far outside any plausible tolerance band
+#: (often inf/NaN — which the verifier treats as a mismatch as well).
+_DEFAULT_FLIP_BIT = {4: 30, 8: 62}
+
+
+@dataclass(frozen=True, slots=True)
+class NumericFaultRule:
+    """One scripted corruption of a strip's C output.
+
+    ``block`` and ``strip`` select the target by the executor's
+    deterministic indices (``"*"`` matches every index). ``times`` is the
+    number of corrupted *attempts per matching strip*: with ``times=1``
+    only the first execution of each matching strip is corrupted and the
+    verifier's recompute heals it; a large ``times`` keeps corrupting
+    recomputes too, forcing escalation to the oracle path (which bypasses
+    injection) or to :class:`~repro.gemm.verify.NumericFaultError`.
+
+    Kinds:
+
+    * ``bitflip`` — XOR bit ``bit`` of element ``(row, col)`` (indices
+      taken modulo the strip panel's shape; ``bit=None`` flips the top
+      exponent bit for the panel's dtype);
+    * ``scale`` — multiply the whole strip panel by ``factor``;
+    * ``zero`` — overwrite the strip panel with zeros.
+    """
+
+    block: int | str = "*"
+    strip: int | str = "*"
+    kind: str = "bitflip"
+    times: int = 1
+    factor: float = 2.0
+    row: int = 0
+    col: int = 0
+    bit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _NUMERIC_KINDS:
+            raise ValueError(
+                f"unknown numeric fault kind {self.kind!r}; "
+                f"expected one of {_NUMERIC_KINDS}"
+            )
+        if self.times < 1:
+            raise ValueError(f"fault times must be >= 1, got {self.times}")
+        for name in ("block", "strip"):
+            value = getattr(self, name)
+            if value != "*" and (not isinstance(value, int) or value < 0):
+                raise ValueError(
+                    f"{name} must be a non-negative index or '*', got {value!r}"
+                )
+
+    def matches(self, block: int, strip: int) -> bool:
+        return (self.block == "*" or self.block == block) and (
+            self.strip == "*" or self.strip == strip
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NumericFaultPlan:
+    """A set of :class:`NumericFaultRule` applied by one injector."""
+
+    rules: tuple[NumericFaultRule, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise ValueError("numeric fault plan has no rules")
+
+    @classmethod
+    def from_json(cls, doc: object) -> "NumericFaultPlan":
+        """Build a plan from a decoded JSON rule list (or ``{"rules": ...}``)."""
+        if isinstance(doc, dict):
+            doc = doc.get("rules", ())
+        if not isinstance(doc, (list, tuple)):
+            raise ValueError(
+                f"numeric fault plan must be a JSON list or object, got {doc!r}"
+            )
+        return cls(rules=tuple(NumericFaultRule(**rule) for rule in doc))
+
+
+class NumericFaultInjector:
+    """Applies a :class:`NumericFaultPlan` to strip outputs.
+
+    Attempt counts are kept per ``(rule, block, strip)`` under a lock, so
+    whether a given attempt is corrupted depends only on the rule and the
+    strip's recomputation count — identical for any worker count and any
+    thread interleaving (the determinism the verifier's bit-identity
+    guarantee rests on).
+    """
+
+    def __init__(self, plan: NumericFaultPlan) -> None:
+        self.plan = plan
+        self.fired = 0
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[int, int, int], int] = {}
+
+    def corrupt(self, block: int, strip: int, panel: np.ndarray) -> bool:
+        """Corrupt ``panel`` in place if an unexhausted rule matches."""
+        for index, rule in enumerate(self.plan.rules):
+            if not rule.matches(block, strip):
+                continue
+            key = (index, block, strip)
+            with self._lock:
+                count = self._counts.get(key, 0)
+                if count >= rule.times:
+                    continue
+                self._counts[key] = count + 1
+                self.fired += 1
+            self._apply(rule, panel)
+            return True
+        return False
+
+    @staticmethod
+    def _apply(rule: NumericFaultRule, panel: np.ndarray) -> None:
+        if rule.kind == "zero":
+            panel[...] = 0
+            return
+        if rule.kind == "scale":
+            panel *= rule.factor
+            return
+        # bitflip
+        itemsize = panel.dtype.itemsize
+        if panel.dtype.kind != "f" or itemsize not in _DEFAULT_FLIP_BIT:
+            raise ValueError(
+                f"bitflip faults support float32/float64 panels, got {panel.dtype}"
+            )
+        bit = _DEFAULT_FLIP_BIT[itemsize] if rule.bit is None else rule.bit
+        if not 0 <= bit < 8 * itemsize:
+            raise ValueError(f"bit {bit} out of range for {panel.dtype}")
+        r = rule.row % panel.shape[0]
+        c = rule.col % panel.shape[1]
+        utype = np.uint32 if itemsize == 4 else np.uint64
+        panel[r : r + 1, c : c + 1].view(utype)[...] ^= utype(1 << bit)

@@ -10,7 +10,12 @@ non-flipping baseline live in :mod:`repro.schedule.variants`; the external
 IO each order implies is counted exactly by :mod:`repro.schedule.reuse`.
 """
 
-from repro.schedule.space import BlockCoord, BlockGrid, ComputationSpace
+from repro.schedule.space import (
+    BlockCoord,
+    BlockGrid,
+    ComputationSpace,
+    DegenerateSpace,
+)
 from repro.schedule.kfirst import OrderArrays, kfirst_order_arrays, kfirst_schedule
 from repro.schedule.variants import (
     ORDER_ARRAY_BUILDERS,
@@ -40,6 +45,7 @@ __all__ = [
     "BlockCoord",
     "BlockGrid",
     "ComputationSpace",
+    "DegenerateSpace",
     "OrderArrays",
     "kfirst_order_arrays",
     "kfirst_schedule",

@@ -16,7 +16,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.cb_block import CBBlock
-from repro.util import require_positive, split_length
+from repro.util import require_nonnegative, require_positive, split_length
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,6 +41,44 @@ class ComputationSpace:
     def flops(self) -> int:
         """Total floating-point operations, ``2 * M * N * K``."""
         return 2 * self.macs
+
+
+@dataclass(frozen=True, slots=True)
+class DegenerateSpace:
+    """A zero-volume MM ``space``: at least one extent is zero.
+
+    :class:`ComputationSpace` deliberately rejects zero extents — the
+    block grid, schedule walk, and roofline all divide by them. But
+    ``multiply()`` must still honor BLAS semantics for degenerate
+    operands (``K == 0`` means a zero-filled ``M x N`` C; ``M == 0`` or
+    ``N == 0`` an empty one), so the engines short-circuit with this
+    stand-in carrying the extents and zero op counts. Negative extents
+    remain invalid.
+    """
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        require_nonnegative("m", self.m)
+        require_nonnegative("n", self.n)
+        require_nonnegative("k", self.k)
+        if self.m and self.n and self.k:
+            raise ValueError(
+                f"{self.m} x {self.n} x {self.k} is not degenerate; "
+                f"use ComputationSpace"
+            )
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations — zero by definition."""
+        return 0
+
+    @property
+    def flops(self) -> int:
+        """Total floating-point operations — zero by definition."""
+        return 0
 
 
 @dataclass(frozen=True, slots=True)

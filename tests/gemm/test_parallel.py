@@ -171,14 +171,56 @@ class TestOperandHandling:
         assert check_multiply_operands(a32, b32) == np.float32
         assert check_multiply_operands(a32, b32.astype(np.float64)) == np.float64
 
+    def test_check_multiply_operands_accepts_degenerate(self):
+        # BLAS semantics: zero extents are valid operands, not errors.
+        assert check_multiply_operands(
+            np.zeros((4, 0)), np.zeros((0, 3))
+        ) == np.float64
+        assert check_multiply_operands(np.zeros((0, 5)), np.zeros((5, 3)))
+        # Mismatched inner dims stay rejected even when one side is empty.
+        with pytest.raises(ValueError, match="inner dimensions"):
+            check_multiply_operands(np.zeros((4, 0)), np.zeros((2, 3)))
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize(
+        "m,k,n", [(7, 0, 5), (0, 6, 5), (7, 6, 0), (0, 0, 0)]
+    )
+    def test_degenerate_shapes(self, intel, engine_cls, workers, m, k, n):
+        a = np.ones((m, k))
+        b = np.ones((k, n))
+        run = engine_cls(intel, workers=workers).multiply(a, b)
+        # K == 0 is an empty sum: a zero-filled M x N product, exactly
+        # what `a @ b` gives; M/N == 0 yield empty results.
+        assert run.c.shape == (m, n)
+        assert np.array_equal(run.c, a @ b)
+        assert run.c.dtype == np.float64
+        assert run.space.macs == 0 and run.space.flops == 0
+        # Derived rates must not divide by zero.
+        assert run.gflops == 0.0
+        assert run.dram_gb_per_s == 0.0
+        assert run.arithmetic_intensity == 0.0
+        assert all(np.isfinite(v) for v in run.summary().values())
+
+    def test_degenerate_float32(self, intel, engine_cls):
+        run = engine_cls(intel).multiply(
+            np.ones((3, 0), dtype=np.float32), np.ones((0, 4), dtype=np.float32)
+        )
+        assert run.c.dtype == np.float32
+        assert run.c.shape == (3, 4)
+        assert not run.c.any()
+
 
 class TestPhaseTimers:
     def test_multiply_reports_phases(self, intel, engine_cls, rng):
         a, b = _operands(rng)
         run = engine_cls(intel, workers=2).multiply(a, b)
-        assert set(run.phase_seconds) == {"pack", "compute", "reduce"}
+        assert set(run.phase_seconds) == {
+            "pack", "compute", "reduce", "verify", "recover",
+        }
         assert run.phase_seconds["pack"] > 0
         assert run.phase_seconds["compute"] > 0
+        assert run.phase_seconds["verify"] == 0.0  # unverified run
+        assert run.phase_seconds["recover"] == 0.0
         assert run.workers == 2
 
     def test_serial_path_has_zero_reduce(self, intel, engine_cls, rng):

@@ -159,6 +159,101 @@ class TestVectorizedVsOracle:
         )
 
 
+class TestChecksums:
+    """Pack-time ABFT checksum vectors (repro.gemm.verify's inputs)."""
+
+    def test_a_column_checksums_match_numpy(self, rng):
+        a = rng.standard_normal((25, 17))
+        packed = pack_a(a, 8, 5, checksums=True)
+        for si in range(packed.strips):
+            for ki in range(packed.k_panels):
+                blk = packed.block(si, ki)
+                np.testing.assert_array_equal(
+                    packed.checksum(si, ki), blk.sum(axis=0)
+                )
+
+    def test_b_row_checksums_match_numpy(self, rng):
+        b = rng.standard_normal((19, 33))
+        packed = pack_b(b, 6, 10, checksums=True)
+        for ki in range(packed.k_panels):
+            for ni in range(packed.n_panels):
+                np.testing.assert_array_equal(
+                    packed.checksum(ki, ni), packed.panel(ki, ni).sum(axis=1)
+                )
+
+    def test_exact_path_checksums_bit_identical(self, rng):
+        a = rng.standard_normal((31, 29))
+        fast = pack_a(a, 8, 5, checksums=True)
+        oracle = pack_a(a, 8, 5, exact=True, checksums=True)
+        for f_row, o_row in zip(fast.checksums, oracle.checksums):
+            for f, o in zip(f_row, o_row):
+                assert f.tobytes() == o.tobytes()
+
+    def test_checksum_elements_accounting(self, rng):
+        a = rng.standard_normal((25, 17))
+        packed = pack_a(a, 8, 5, checksums=True)
+        m, k = a.shape
+        # Checksums: one length-k vector per strip row. Magnitudes: one
+        # more length-k vector per strip row plus one length-m column
+        # per k-panel.
+        assert packed.checksum_elements == (
+            2 * packed.strips * k + packed.k_panels * m
+        )
+        assert pack_a(a, 8, 5).checksum_elements == 0
+
+    def test_magnitudes_match_numpy(self, rng):
+        a = rng.standard_normal((25, 17))
+        packed = pack_a(a, 8, 5, checksums=True)
+        for si in range(packed.strips):
+            for ki in range(packed.k_panels):
+                blk = np.abs(packed.block(si, ki))
+                cols, rows = packed.magnitude(si, ki)
+                np.testing.assert_array_equal(cols, blk.sum(axis=0))
+                np.testing.assert_array_equal(rows, blk.sum(axis=1))
+
+    def test_b_magnitudes_match_numpy(self, rng):
+        b = rng.standard_normal((19, 33))
+        packed = pack_b(b, 6, 10, checksums=True)
+        for ki in range(packed.k_panels):
+            for ni in range(packed.n_panels):
+                pan = np.abs(packed.panel(ki, ni))
+                cols, rows = packed.magnitude(ki, ni)
+                np.testing.assert_array_equal(cols, pan.sum(axis=0))
+                np.testing.assert_array_equal(rows, pan.sum(axis=1))
+
+    def test_checksum_buffer_returns_to_pool(self, rng):
+        pool = BufferPool()
+        a = rng.standard_normal((25, 17))
+        packed = pack_a(a, 8, 5, pool=pool, checksums=True)
+        plain = pack_a(a, 8, 5, pool=pool)
+        assert len(packed.buffers) > len(plain.buffers)
+        packed.release_to(pool)
+        repacked = pack_a(a, 8, 5, pool=pool, checksums=True)
+        assert {id(b) for b in repacked.buffers} == {
+            id(b) for b in packed.buffers
+        }
+
+    def test_checksum_without_flag_raises(self, rng):
+        packed = pack_a(rng.standard_normal((10, 8)), 4, 4)
+        with pytest.raises(ValueError, match="checksums"):
+            packed.checksum(0, 0)
+
+    def test_float32_checksums_stay_float32(self, rng):
+        a = rng.standard_normal((20, 12)).astype(np.float32)
+        packed = pack_a(a, 8, 5, checksums=True)
+        assert packed.checksum(0, 0).dtype == np.float32
+
+    @settings(max_examples=30)
+    @given(small_matrix(32), st.integers(1, 12), st.integers(1, 12))
+    def test_checksum_property(self, a, mc, kc):
+        packed = pack_a(a, mc, kc, checksums=True)
+        for si, row in enumerate(packed.blocks):
+            for ki, blk in enumerate(row):
+                np.testing.assert_array_equal(
+                    packed.checksum(si, ki), blk.sum(axis=0)
+                )
+
+
 class TestBufferPool:
     def test_lease_shape_and_dtype(self):
         pool = BufferPool()
@@ -208,6 +303,66 @@ class TestBufferPool:
         pool.release(np.empty(10))
         pool.clear()
         assert pool.retained_bytes == 0
+
+    def test_zero_byte_lease_short_circuits(self):
+        # Regression: zero-element requests used to round-trip the lock
+        # and the retention bookkeeping for an allocation that costs
+        # nothing. They now bypass the pool entirely.
+        pool = BufferPool()
+        for shape in [(0,), (0, 5), (5, 0), (3, 0, 4)]:
+            buf = pool.lease(shape, np.float64)
+            assert buf.shape == shape and buf.size == 0
+        assert pool.hits == 0 and pool.misses == 0
+
+    def test_zero_byte_release_not_retained(self):
+        pool = BufferPool()
+        pool.release(np.empty((0, 8)), np.empty(0, dtype=np.float32))
+        assert pool.retained_bytes == 0
+        # And a later zero-size lease still works (fresh empty array).
+        assert pool.lease((0, 8), np.float64).size == 0
+        assert pool.hits == 0
+
+    def test_concurrent_lease_release_stress(self):
+        # Hammer one pool from several threads: no two concurrent leases
+        # may alias storage, and the retention ledger must stay exact.
+        import threading
+
+        pool = BufferPool(max_retained_bytes=64 * 1024)
+        shapes = [(16, 16), (32, 8), (8, 8), (0, 4)]
+        errors: list[str] = []
+        barrier = threading.Barrier(4)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            for i in range(200):
+                shape = shapes[(seed + i) % len(shapes)]
+                buf = pool.lease(shape, np.float64)
+                if buf.shape != shape:
+                    errors.append(f"wrong shape {buf.shape} != {shape}")
+                    return
+                if buf.size:
+                    # Stamp and verify: an aliased concurrent lease would
+                    # tear this pattern.
+                    buf.fill(float(seed * 1000 + i))
+                    if not (buf == float(seed * 1000 + i)).all():
+                        errors.append("aliased buffer detected")
+                        return
+                pool.release(buf)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert 0 <= pool.retained_bytes <= pool.max_retained_bytes
+        # The ledger must agree with the buffers actually retained.
+        held = sum(
+            buf.nbytes for bucket in pool._free.values() for buf in bucket
+        )
+        assert pool.retained_bytes == held
 
 
 class TestPackingCost:
