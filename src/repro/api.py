@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.gemm.backends import Backend
 from repro.gemm.cake import CakeGemm
 from repro.gemm.goto import GotoGemm
 from repro.gemm.result import GemmRun
@@ -27,6 +28,7 @@ def cake_matmul(
     alpha: float | None = None,
     workers: int | None = None,
     verify: bool | VerifyConfig = False,
+    backend: str | Backend | None = None,
 ) -> GemmRun:
     """Multiply ``a @ b`` with the CAKE engine.
 
@@ -51,17 +53,26 @@ def cake_matmul(
         faulting block's coordinates. ``True`` for defaults, a
         :class:`~repro.gemm.verify.VerifyConfig` to tune. A clean
         verified run returns bit-identical ``c`` and counters.
+    backend:
+        Compute backend (:mod:`repro.gemm.backends`): a registered name
+        (``"numpy"``, ``"blas-group"``, ``"torch"``) or a
+        :class:`~repro.gemm.backends.Backend` instance. Default is the
+        per-strip numpy oracle. ``verify=True`` plus a non-oracle
+        backend is the headline ABFT scenario: the fast path is
+        checksum-validated and healed through the trusted oracle rung.
 
     Returns
     -------
     GemmRun
         ``run.c`` is the product; ``run.gflops`` / ``run.dram_gb_per_s``
         are the modelled metrics; ``run.verify`` the ABFT accounting
-        when verification ran.
+        when verification ran; ``run.backend`` the backend that
+        executed.
     """
     machine = intel_i9_10900k() if machine is None else machine
     return CakeGemm(
-        machine, cores=cores, alpha=alpha, workers=workers, verify=verify
+        machine, cores=cores, alpha=alpha, workers=workers, verify=verify,
+        backend=backend,
     ).multiply(a, b)
 
 
@@ -73,9 +84,15 @@ def goto_matmul(
     cores: int | None = None,
     workers: int | None = None,
     verify: bool | VerifyConfig = False,
+    backend: str | Backend | None = None,
 ) -> GemmRun:
-    """Multiply ``a @ b`` with the GOTO baseline engine (MKL/ARMPL model)."""
+    """Multiply ``a @ b`` with the GOTO baseline engine (MKL/ARMPL model).
+
+    Same contract as :func:`cake_matmul` (minus ``alpha``), including
+    the ``backend`` selector.
+    """
     machine = intel_i9_10900k() if machine is None else machine
     return GotoGemm(
-        machine, cores=cores, workers=workers, verify=verify
+        machine, cores=cores, workers=workers, verify=verify,
+        backend=backend,
     ).multiply(a, b)

@@ -107,7 +107,26 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="write machine-readable BENCH_<id>.json rows to this dir",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="compute backend for numeric experiments (see "
+        "repro.gemm.backends; e.g. numpy, blas-group); analytic-only "
+        "experiments are unaffected",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        from repro.gemm.backends import (
+            BackendCapabilityError,
+            set_default_backend,
+        )
+
+        try:
+            set_default_backend(args.backend)
+        except BackendCapabilityError as exc:
+            parser.error(f"--backend: {exc}")
 
     if args.list:
         for name, fn in sorted(registry.items()):

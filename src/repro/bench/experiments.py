@@ -371,6 +371,98 @@ def verify_overhead(scale: str = "full", *, runtime=None) -> ExperimentReport:
     return rep
 
 
+def backends_matrix(scale: str = "full", *, runtime=None) -> ExperimentReport:
+    """Compute-backend matrix: wall time and exactness per backend.
+
+    Not a paper figure — the schedule/compute seam companion: the same
+    CAKE schedule executed through every available compute backend
+    (:mod:`repro.gemm.backends`) must produce the same product (bit-exact
+    for deterministic backends, within the declared agreement band
+    otherwise) and identical traffic counters, while wall time is free
+    to differ. The full-scale speedup floor is enforced by
+    ``benchmarks/bench_backends.py``; this report records the measured
+    times at either scale and re-checks exactness at every cell.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.gemm.backends import available_backends, backend_spec
+    from repro.gemm.cake import CakeGemm
+    from repro.gemm.verify import VerifyConfig
+    from repro.runtime.faults import NumericFaultPlan, NumericFaultRule
+
+    n = 512 if scale == "full" else 160
+    machine = intel_i9_10900k()
+    rep = ExperimentReport(
+        "backends", f"Compute-backend matrix ({n}^3 MM, Intel i9)"
+    )
+    rng = np.random.default_rng(20217)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+
+    oracle = CakeGemm(machine, backend="numpy").multiply(a, b)
+    band = 8.0 * np.finfo(a.dtype).eps * (n + 2) * float(
+        np.abs(a).dot(np.abs(b)).max()
+    )
+    rows = []
+    for name in available_backends():
+        spec = backend_spec(name)
+        engine = CakeGemm(machine, backend=name)
+        t0 = _time.perf_counter()
+        run = engine.multiply(a, b)
+        dt = _time.perf_counter() - t0
+        if spec.capabilities.deterministic:
+            exact = bool(np.array_equal(run.c, oracle.c))
+            if not exact:
+                raise AssertionError(
+                    f"deterministic backend {name!r} drifted from the oracle"
+                )
+        else:
+            exact = bool(np.abs(run.c - oracle.c).max() <= band)
+            if not exact:
+                raise AssertionError(
+                    f"backend {name!r} outside its agreement band"
+                )
+        if run.counters != oracle.counters:
+            raise AssertionError(f"backend {name!r} changed traffic counters")
+        rows.append(
+            [
+                name,
+                "bit-exact" if spec.capabilities.deterministic else "banded",
+                f"{dt * 1e3:.1f} ms",
+                run.backend,
+                "yes" if spec.capabilities.grouped else "no",
+            ]
+        )
+        rep.data.setdefault("seconds", {})[name] = dt
+    rep.add_table(
+        ["backend", "agreement", "wall time", "recorded", "grouped"], rows
+    )
+
+    # The headline ABFT scenario: a fast non-oracle backend with an
+    # injected corruption, healed back to ITS OWN clean product exactly.
+    plan = NumericFaultPlan(
+        rules=(NumericFaultRule(block=0, strip=0, kind="scale", factor=3.0),)
+    )
+    clean = CakeGemm(machine, backend="blas-group").multiply(a, b)
+    healed = CakeGemm(
+        machine, backend="blas-group", verify=VerifyConfig(inject=plan)
+    ).multiply(a, b)
+    if not np.array_equal(clean.c, healed.c):
+        raise AssertionError(
+            "injected corruption on blas-group was not healed bit-exactly"
+        )
+    rep.add_line(
+        f"verified blas-group: {healed.verify.mismatches} corrupted block(s) "
+        f"detected, {healed.verify.retry_recoveries} healed by retry, "
+        f"{healed.verify.oracle_recoveries} by oracle — product bit-identical "
+        "to the clean blas-group run"
+    )
+    rep.data["healed"] = healed.verify.as_dict()
+    return rep
+
+
 EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "table2": table2_machines,
     "fig4": fig4_cb_scaling,
@@ -383,6 +475,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "fig11": fig11_arm_scaling,
     "fig12": fig12_amd_scaling,
     "verify": verify_overhead,
+    "backends": backends_matrix,
 }
 
 

@@ -23,6 +23,31 @@ class ConfigurationError(CakeError):
     """
 
 
+class BackendCapabilityError(CakeError, TypeError):
+    """A compute backend cannot satisfy the requested operation.
+
+    Raised at the API boundary (operand validation, backend selection)
+    instead of a bare ``TypeError`` deep in a kernel, so callers can see
+    *which* backend refused and why. Subclasses ``TypeError`` because the
+    pre-backend operand contract raised that type for dtype rejections —
+    existing ``except TypeError`` handlers keep working.
+
+    Attributes
+    ----------
+    backend:
+        Name of the backend that rejected the request (``"numpy"``,
+        ``"blas-group"``, ``"torch"``, ...).
+    dtype:
+        The offending accumulation dtype, when the rejection is about
+        dtype support; ``None`` otherwise (e.g. an unavailable backend).
+    """
+
+    def __init__(self, backend: str, message: str, *, dtype=None):
+        self.backend = backend
+        self.dtype = dtype
+        super().__init__(f"backend {backend!r}: {message}")
+
+
 class ScheduleError(CakeError):
     """A block schedule violates a structural invariant.
 

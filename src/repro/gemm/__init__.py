@@ -14,8 +14,23 @@ Both engines compute the true numerical product by executing exactly the
 tile-level operations their schedules prescribe, and both return a
 :class:`~repro.gemm.result.GemmRun` with the traffic counters and roofline
 timing the benchmarks plot.
+
+*How* a strip group multiplies is pluggable (:mod:`repro.gemm.backends`):
+the per-strip numpy oracle, a whole-group BLAS call, or torch when
+installed. The schedule, counters and timing model never change with the
+backend — only the inner compute call does.
 """
 
+from repro.gemm.backends import (
+    Backend,
+    BackendCapabilities,
+    BackendCapabilityError,
+    BackendSpec,
+    available_backends,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
 from repro.gemm.microkernel import MicroKernel
 from repro.gemm.naive import naive_matmul, reference_matmul
 from repro.gemm.counters import TrafficCounters
@@ -38,6 +53,14 @@ from repro.gemm.goto import GotoGemm
 from repro.gemm.blas import gemm
 
 __all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "BackendCapabilityError",
+    "BackendSpec",
+    "available_backends",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
     "MicroKernel",
     "naive_matmul",
     "reference_matmul",

@@ -35,6 +35,7 @@ import time
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.gemm.backends import Backend, resolve_backend
 from repro.gemm.counters import TrafficCounters
 from repro.gemm.parallel import (
     PhaseTimers,
@@ -108,7 +109,20 @@ class CakeGemm:
         tolerance band, recovery ladder, or fault-injection plan. Each
         CB block's C update is checksum-validated at its barrier and
         healed (or reported) on mismatch; a clean verified run is
-        bit-identical to an unverified one.
+        bit-identical to an unverified one. With a non-oracle
+        ``backend`` this is the headline scenario: a fast untrusted
+        compute path checked against pack-time checksums, with the
+        per-strip oracle as the trusted recovery rung.
+    backend:
+        Compute backend for numeric execution
+        (:mod:`repro.gemm.backends`): a registered name (``"numpy"``,
+        ``"blas-group"``, ``"torch"``) or a
+        :class:`~repro.gemm.backends.Backend` instance. The schedule,
+        packing, counters and timing model are backend-invariant; only
+        how each strip group multiplies changes. Unknown or unavailable
+        names raise a structured
+        :class:`~repro.errors.BackendCapabilityError` here, at
+        construction.
     """
 
     def __init__(
@@ -122,6 +136,7 @@ class CakeGemm:
         workers: int | None = None,
         exact_pack: bool = False,
         verify: bool | VerifyConfig = False,
+        backend: "str | Backend | None" = None,
     ) -> None:
         self.machine = machine
         self.cores = cores
@@ -131,6 +146,7 @@ class CakeGemm:
         self.workers = resolve_workers(workers)
         self.exact_pack = exact_pack
         self.verify = resolve_verify(verify)
+        self.backend = resolve_backend(backend)
         self._pool = BufferPool()
 
     # -- public API ----------------------------------------------------------
@@ -154,13 +170,14 @@ class CakeGemm:
         ``K == 0`` returns a zero-filled ``M x N`` C, ``M == 0`` or
         ``N == 0`` an empty one.
         """
-        dtype = check_multiply_operands(a, b)
+        dtype = check_multiply_operands(a, b, backend=self.backend)
         m, k, n = a.shape[0], a.shape[1], b.shape[1]
         if m == 0 or n == 0 or k == 0:
             return degenerate_run(
                 "cake", self.machine, m, n, k, dtype,
                 cores=self.cores or self.machine.cores,
                 workers=self.workers,
+                backend=self.backend.name,
             )
         space = ComputationSpace(m, n, k)
         return self._run(space, a=a, b=b)
@@ -368,6 +385,9 @@ class CakeGemm:
                 timers=timers,
                 verifier=verifier,
                 faults=faults,
+                backend=self.backend.create(
+                    kernel=kernel, exact_tiles=self.exact_tiles
+                ),
             )
             packed_a.release_to(self._pool)
             packed_b.release_to(self._pool)
@@ -391,6 +411,7 @@ class CakeGemm:
             },
             c=c,
             workers=self.workers if numeric else 1,
+            backend=self.backend.name if numeric else "numpy",
             phase_seconds=timers.as_dict() if numeric else None,
             verify=report,
         )

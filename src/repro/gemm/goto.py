@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from repro.gemm.backends import Backend, resolve_backend
 from repro.gemm.counters import TrafficCounters
 from repro.gemm.parallel import (
     PhaseTimers,
@@ -71,6 +72,7 @@ class GotoGemm:
         workers: int | None = None,
         exact_pack: bool = False,
         verify: bool | VerifyConfig = False,
+        backend: "str | Backend | None" = None,
     ) -> None:
         self.machine = machine
         self.cores = cores
@@ -79,6 +81,7 @@ class GotoGemm:
         self.workers = resolve_workers(workers)
         self.exact_pack = exact_pack
         self.verify = resolve_verify(verify)
+        self.backend = resolve_backend(backend)
         self._pool = BufferPool()
 
     # -- public API ----------------------------------------------------------
@@ -96,13 +99,14 @@ class GotoGemm:
         is packed with a single copy, integer dtypes are rejected, and
         float32 stays float32.
         """
-        dtype = check_multiply_operands(a, b)
+        dtype = check_multiply_operands(a, b, backend=self.backend)
         m, k, n = a.shape[0], a.shape[1], b.shape[1]
         if m == 0 or n == 0 or k == 0:
             return degenerate_run(
                 "goto", self.machine, m, n, k, dtype,
                 cores=self.cores or self.machine.cores,
                 workers=self.workers,
+                backend=self.backend.name,
             )
         space = ComputationSpace(m, n, k)
         return self._run(space, a=a, b=b)
@@ -251,25 +255,21 @@ class GotoGemm:
                 if numeric:
                     assert packed_a is not None and packed_b is not None
                     cs_a = cs_b = a_full = mag_a = mag_b = None
+                    # The concatenated A operand serves two consumers: the
+                    # verifier's group checksum check, and whole-group
+                    # backends, which multiply it in a single call.
+                    if verifying or self.backend.capabilities.grouped:
+                        if ki not in a_full_by_ki:
+                            a_full_by_ki[ki] = packed_a.column(
+                                ki, pool=self._pool
+                            )
+                        a_full = a_full_by_ki[ki]
                     if verifying:
                         if ki not in cs_a_by_ki:
                             acc = packed_a.checksum(0, ki).copy()
                             for strip in range(1, len(m_strips)):
                                 acc += packed_a.checksum(strip, ki)
                             cs_a_by_ki[ki] = acc
-                            a_buf = self._pool.lease(
-                                (space.m, kc_actual),
-                                packed_a.block(0, ki).dtype,
-                            )
-                            np.concatenate(
-                                [
-                                    packed_a.block(strip, ki)
-                                    for strip in range(len(m_strips))
-                                ],
-                                axis=0,
-                                out=a_buf,
-                            )
-                            a_full_by_ki[ki] = a_buf
                             col_acc = packed_a.magnitude(0, ki)[0].copy()
                             row_parts = [packed_a.magnitude(0, ki)[1]]
                             for strip in range(1, len(m_strips)):
@@ -281,7 +281,6 @@ class GotoGemm:
                             )
                         cs_a = cs_a_by_ki[ki]
                         cs_b = packed_b.checksum(ki, ni)
-                        a_full = a_full_by_ki[ki]
                         mag_a = mag_a_by_ki[ki]
                         mag_b = packed_b.magnitude(ki, ni)
                     groups.append(
@@ -325,10 +324,16 @@ class GotoGemm:
                 timers=timers,
                 verifier=verifier,
                 faults=faults,
+                backend=self.backend.create(
+                    kernel=kernel, exact_tiles=self.exact_tiles
+                ),
             )
             packed_a.release_to(self._pool)
             packed_b.release_to(self._pool)
-            if a_full_by_ki:
+            # Single-strip columns are zero-copy views into the pack
+            # buffers (released above); only multi-strip concatenations
+            # were leased.
+            if a_full_by_ki and packed_a.strips > 1:
                 self._pool.release(*a_full_by_ki.values())
 
         return GemmRun(
@@ -348,6 +353,7 @@ class GotoGemm:
             },
             c=c,
             workers=self.workers if numeric else 1,
+            backend=self.backend.name if numeric else "numpy",
             phase_seconds=timers.as_dict() if numeric else None,
             verify=report,
         )

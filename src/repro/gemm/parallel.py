@@ -28,6 +28,16 @@ the (independent) strips within one group run concurrently. NumPy's
 matmul releases the GIL, so a ``ThreadPoolExecutor`` scales on real
 cores with zero pickling or shared-memory setup.
 
+*How* a strip (or a whole group) multiplies is delegated to a pluggable
+:class:`~repro.gemm.backends.Backend`. The default is the per-strip
+NumPy oracle; ``grouped`` backends (``blas-group``, ``torch``) instead
+execute each group as one whole-panel library call on the orchestrator
+thread — the barrier structure, the accumulation order per C element,
+and the traffic accounting are identical either way. For any *fixed*
+backend the result is bit-identical across worker counts; across
+*backends* results agree within each backend's declared agreement band
+(bit-exact for backends declaring determinism).
+
 Traffic/timing accounting never runs here — counters come from the
 engines' deterministic schedule walk, so ``GemmRun`` rows are identical
 whether numerics ran serial or parallel (asserted in tests).
@@ -76,10 +86,18 @@ from typing import TYPE_CHECKING, Iterable, NamedTuple, Sequence
 
 import numpy as np
 
+from repro.errors import BackendCapabilityError
+from repro.gemm.backends.base import (
+    Backend,
+    execute_group,
+    group_eligible,
+)
+from repro.gemm.backends.numpy_backend import NumpyBackend
 from repro.gemm.microkernel import MicroKernel
 from repro.util import require_positive
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.gemm.backends.registry import BackendSpec
     from repro.gemm.verify import GroupVerifier
     from repro.runtime.faults import NumericFaultInjector
 
@@ -160,7 +178,11 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
-def check_multiply_operands(a: np.ndarray, b: np.ndarray) -> np.dtype:
+def check_multiply_operands(
+    a: np.ndarray,
+    b: np.ndarray,
+    backend: "Backend | BackendSpec | None" = None,
+) -> np.dtype:
     """Validate operand dtypes/shapes for numeric execution.
 
     Returns the accumulation dtype (``np.result_type`` of the operands:
@@ -168,6 +190,14 @@ def check_multiply_operands(a: np.ndarray, b: np.ndarray) -> np.dtype:
     boolean operands are rejected outright — blocked accumulation of
     fixed-width integers silently wraps on overflow, which no GEMM user
     wants from a library that otherwise reproduces BLAS semantics.
+
+    Dtype rejections raise the structured
+    :class:`~repro.errors.BackendCapabilityError` (a ``TypeError``
+    subclass) naming the backend that refused — both for the universal
+    integer/boolean rejection and for dtypes outside the selected
+    ``backend``'s declared capability envelope (e.g. complex operands on
+    the torch backend), so capability failures never surface as a
+    generic ``TypeError`` deep in a kernel.
 
     Layout is deliberately *not* validated: F-ordered, transposed and
     non-contiguous operands are first-class. The packing pass copies
@@ -181,38 +211,58 @@ def check_multiply_operands(a: np.ndarray, b: np.ndarray) -> np.dtype:
             f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
         )
     out = np.result_type(a, b)
+    name = backend.name if backend is not None else "numpy"
     if not (
         np.issubdtype(out, np.floating) or np.issubdtype(out, np.complexfloating)
     ):
-        raise TypeError(
+        raise BackendCapabilityError(
+            name,
             f"refusing to multiply {a.dtype} x {b.dtype} operands: blocked "
             f"accumulation in {out} integer arithmetic wraps silently on "
             f"overflow; cast the operands to a floating dtype first "
-            f"(e.g. a.astype(np.float64))"
+            f"(e.g. a.astype(np.float64))",
+            dtype=out,
+        )
+    if backend is not None and not backend.supports_dtype(out):
+        raise BackendCapabilityError(
+            name,
+            f"does not support {out} accumulation "
+            f"(operands {a.dtype} x {b.dtype}); select a backend whose "
+            f"capabilities cover this dtype (the 'numpy' oracle always "
+            f"does) or cast the operands",
+            dtype=out,
         )
     return out
 
 
 def _timed_strip(
-    kernel: MicroKernel,
+    backend: Backend,
     task: StripTask,
-    exact_tiles: bool,
     group_index: int = 0,
     strip_index: int = 0,
     faults: "NumericFaultInjector | None" = None,
 ) -> float:
-    """Execute one strip, returning its kernel wall time.
+    """Execute one strip through the backend, returning its wall time.
 
-    Injected corruption lands right after the kernel call — the seam a
-    soft error or bad thread would hit — keyed ``(group, strip)`` so the
-    same strips corrupt for any worker count.
+    Injected corruption lands right after the numeric update — the seam
+    a soft error or bad thread would hit — keyed ``(group, strip)`` so
+    the same strips corrupt for any worker count.
     """
     start = time.perf_counter()
-    kernel.panel_matmul(
-        task.a, task.b, task.c, exact_tiles=exact_tiles, checked=False
-    )
+    backend.matmul_strip(task.a, task.b, task.c)
     if faults is not None:
         faults.corrupt(group_index, strip_index, task.c)
+    return time.perf_counter() - start
+
+
+def _timed_group(
+    backend: Backend,
+    group: StripGroup,
+    faults: "NumericFaultInjector | None",
+) -> float:
+    """Execute one whole strip group inline, returning its wall time."""
+    start = time.perf_counter()
+    execute_group(backend, group, faults)
     return time.perf_counter() - start
 
 
@@ -231,13 +281,24 @@ def run_strip_groups(
     timers: PhaseTimers | None = None,
     verifier: "GroupVerifier | None" = None,
     faults: "NumericFaultInjector | None" = None,
+    backend: Backend | None = None,
 ) -> PhaseTimers:
     """Execute an ordered sequence of strip groups, barrier per group.
 
-    ``workers=1`` runs every strip inline (no pool, no thread hop);
-    ``workers>1`` fans each group's strips over a thread pool. Both paths
-    issue identical kernel calls in a per-C-row identical order, so the
-    numeric result is bit-for-bit the same for any worker count.
+    Numeric work flows through the ``backend``
+    (:mod:`repro.gemm.backends`); ``None`` means the per-strip NumPy
+    oracle built from ``kernel``/``exact_tiles`` — the pre-backend
+    behaviour, bit for bit. ``workers=1`` runs every strip inline (no
+    pool, no thread hop); ``workers>1`` fans each group's strips over a
+    thread pool. Both paths issue identical backend calls in a
+    per-C-row identical order, so for a fixed backend the numeric
+    result is bit-for-bit the same for any worker count.
+
+    ``grouped`` backends short-circuit the fan-out: a group carrying
+    its group-contiguous views executes as **one** backend call on this
+    (the orchestrator) thread — one GIL-released library call per
+    barrier, which is the whole point of such backends — and worker
+    count becomes trivially irrelevant to the bits.
 
     Groups may be plain sequences of :class:`StripTask` (unverified runs)
     or :class:`StripGroup` records carrying checksum material. With a
@@ -253,42 +314,44 @@ def run_strip_groups(
     """
     timers = timers if timers is not None else PhaseTimers()
     timers.workers = max(timers.workers, workers)
-    if workers <= 1:
+    if backend is None:
+        backend = NumpyBackend(kernel, exact_tiles=exact_tiles)
+    if workers <= 1 or backend.capabilities.grouped:
+        pool_ctx = None
+    else:
+        pool_ctx = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cake-gemm"
+        )
+    try:
         for index, raw in enumerate(groups):
             group = _as_group(raw, index)
-            snaps = verifier.snapshot(group) if verifier is not None else None
-            for strip, task in enumerate(group.tasks):
-                timers.compute_seconds += _timed_strip(
-                    kernel, task, exact_tiles, group.index, strip, faults
-                )
-            if verifier is not None:
-                verifier.check_and_recover(
-                    group, snaps, kernel, exact_tiles, faults
-                )
-        return timers
-
-    with ThreadPoolExecutor(
-        max_workers=workers, thread_name_prefix="cake-gemm"
-    ) as pool:
-        for index, raw in enumerate(groups):
-            group = _as_group(raw, index)
-            snaps = verifier.snapshot(group) if verifier is not None else None
-            futures = [
-                pool.submit(
-                    _timed_strip, kernel, task, exact_tiles,
-                    group.index, strip, faults,
-                )
-                for strip, task in enumerate(group.tasks)
-            ]
-            barrier_start = time.perf_counter()
-            # Propagate worker exceptions eagerly; sum kernel seconds.
-            timers.compute_seconds += sum(f.result() for f in futures)
-            timers.reduce_seconds += time.perf_counter() - barrier_start
+            snaps = (
+                verifier.snapshot(group, backend=backend)
+                if verifier is not None
+                else None
+            )
+            if pool_ctx is None or group_eligible(backend, group):
+                timers.compute_seconds += _timed_group(backend, group, faults)
+            else:
+                futures = [
+                    pool_ctx.submit(
+                        _timed_strip, backend, task, group.index, strip, faults
+                    )
+                    for strip, task in enumerate(group.tasks)
+                ]
+                barrier_start = time.perf_counter()
+                # Propagate worker exceptions eagerly; sum kernel seconds.
+                timers.compute_seconds += sum(f.result() for f in futures)
+                timers.reduce_seconds += time.perf_counter() - barrier_start
             if verifier is not None:
                 # Inside the barrier: the next group does not start until
                 # this one verified (and healed), so recovery is ordered
                 # identically for any worker count.
                 verifier.check_and_recover(
-                    group, snaps, kernel, exact_tiles, faults
+                    group, snaps, kernel, exact_tiles, faults,
+                    backend=backend,
                 )
+    finally:
+        if pool_ctx is not None:
+            pool_ctx.shutdown(wait=True)
     return timers

@@ -54,6 +54,14 @@ class GemmRun:
         Host threads the numeric executor ran with (1 for the inline
         serial path and for analytic-only runs). Distinct from ``cores``,
         which is the *modelled* core count the plan and pricing use.
+    backend:
+        Name of the compute backend the numerics executed through
+        (:mod:`repro.gemm.backends`): ``"numpy"`` (the per-strip
+        oracle — also recorded for analytic-only runs, which execute
+        nothing), ``"blas-group"``, ``"torch"``, or a user backend's
+        name. Results from different backends agree within each
+        backend's declared agreement band; results from the *same*
+        backend are bit-identical across worker counts.
     phase_seconds:
         Measured wall-clock of the numeric run's phases — ``pack``
         (packed-operand construction), ``compute`` (kernel time summed
@@ -82,6 +90,7 @@ class GemmRun:
     plan_summary: dict[str, float] = field(default_factory=dict)
     c: np.ndarray | None = None
     workers: int = 1
+    backend: str = "numpy"
     phase_seconds: dict[str, float] | None = None
     verify: "VerifyReport | None" = None
 
@@ -171,6 +180,7 @@ def degenerate_run(
     *,
     cores: int,
     workers: int,
+    backend: str = "numpy",
 ) -> GemmRun:
     """The result of a zero-volume multiply, BLAS-style.
 
@@ -189,4 +199,5 @@ def degenerate_run(
         packing_seconds=0.0,
         c=np.zeros((m, n), dtype=dtype),
         workers=workers,
+        backend=backend,
     )

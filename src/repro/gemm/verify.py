@@ -59,14 +59,19 @@ bit-deterministic for any worker count:
 
 1. restore the group's pre-group C panel — by zero-filling and
    replaying the panel's verified group history (bit-exact, since every
-   accepted group's bits equal a clean run's) or, for a panel first
-   seen mid-accumulation, from the copy taken at dispatch — then
-   recompute every strip inline with the *same* kernel calls, up to
-   ``max_retries`` times: a transient fault does not recur, and the
-   recomputed bits equal the clean run's exactly;
-2. restore and recompute through the **oracle path**: the same kernel
-   arithmetic with operand checks enabled and fault injection bypassed
-   (numerically identical, so still bit-exact);
+   accepted group's bits equal a clean run's; replay restore is only
+   used with the deterministic oracle backend — other backends take
+   real snapshots for non-fresh panels) or, for a panel first seen
+   mid-accumulation, from the copy taken at dispatch — then recompute
+   the group inline through the *same* backend calls the clean path
+   issued, up to ``max_retries`` times: a transient fault does not
+   recur, and a reproducible backend's recomputed bits equal the clean
+   run's exactly;
+2. restore and recompute through the **oracle path**: per-strip
+   micro-kernel arithmetic with operand checks enabled and fault
+   injection bypassed (bit-exact for the oracle backend; the trusted
+   reference product for any other — this is the rung that makes a
+   *fast untrusted backend* safe to run verified);
 3. raise :class:`NumericFaultError` carrying the block coordinates, the
    failing identity, the strip (when the row identity localized one),
    and the residual/tolerance pair.
@@ -85,6 +90,8 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.errors import CakeError
+from repro.gemm.backends.base import Backend, execute_group
+from repro.gemm.backends.numpy_backend import NumpyBackend
 from repro.util import require_nonnegative
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
@@ -334,17 +341,28 @@ class GroupVerifier:
 
     # -- executor hooks ------------------------------------------------------
 
-    def snapshot(self, group: "StripGroup") -> "_Snapshot | None":
+    def snapshot(
+        self, group: "StripGroup", backend: "Backend | None" = None
+    ) -> "_Snapshot | None":
         """Capture the group's C panel (strips stacked) before it runs.
 
         Fresh panels and panels whose verified history this verifier
         holds need no copy (``_Snapshot(None)``): their pre-group state
         is reconstructible — zero fill, then replay the history. Only
         panels first seen mid-accumulation pay for a real snapshot.
+
+        History replay is only sound for the deterministic oracle
+        backend (replaying a call must reproduce the *accepted* bits —
+        an oracle-healed group's bits equal the oracle's, which for a
+        non-oracle backend are not the backend's own). With any other
+        backend every non-fresh panel takes a real snapshot.
         """
         if group.checksum_a is None:
             return None
-        if group.fresh_panel or self._panel_key(group) in self._history:
+        replayable = backend is None or backend.capabilities.deterministic
+        if group.fresh_panel or (
+            replayable and self._panel_key(group) in self._history
+        ):
             return _Snapshot(None)
         start = time.perf_counter()
         if group.panel is not None:
@@ -365,25 +383,40 @@ class GroupVerifier:
         kernel: "MicroKernel",
         exact_tiles: bool,
         faults: "NumericFaultInjector | None",
+        backend: "Backend | None" = None,
     ) -> None:
-        """Verify the group; on mismatch walk the recovery ladder."""
+        """Verify the group; on mismatch walk the recovery ladder.
+
+        ``backend`` is the backend the clean path executed with; the
+        retry rung recomputes through it (a reproducible backend then
+        heals transient faults bit-exactly), while the oracle rung always
+        recomputes through the checked micro-kernel. ``None`` means the
+        oracle executed the group (the pre-backend behaviour).
+        """
         if snap is None:
             return
         start = time.perf_counter()
         failure = self._verify_group(group, snap)
         self.timers.verify_seconds += time.perf_counter() - start
         self.report.blocks += 1
+        replayable = backend is None or backend.capabilities.deterministic
         if failure is None:
             self.report.verified += 1
-            self._history.setdefault(self._panel_key(group), []).append(group)
+            if replayable:
+                self._history.setdefault(
+                    self._panel_key(group), []
+                ).append(group)
             return
         self.report.mismatches += 1
         start = time.perf_counter()
         try:
-            self._recover(group, snap, kernel, exact_tiles, faults, failure)
+            self._recover(
+                group, snap, kernel, exact_tiles, faults, failure, backend
+            )
         finally:
             self.timers.recover_seconds += time.perf_counter() - start
-        self._history.setdefault(self._panel_key(group), []).append(group)
+        if replayable:
+            self._history.setdefault(self._panel_key(group), []).append(group)
 
     # -- the recovery ladder -------------------------------------------------
 
@@ -395,15 +428,16 @@ class GroupVerifier:
         exact_tiles: bool,
         faults: "NumericFaultInjector | None",
         failure: IdentityFailure,
+        backend: "Backend | None" = None,
     ) -> None:
+        if backend is None:
+            backend = NumpyBackend(kernel, exact_tiles=exact_tiles)
         for _ in range(self.config.max_retries):
-            self._restore(group, snap, kernel, exact_tiles)
-            for strip, task in enumerate(group.tasks):
-                kernel.panel_matmul(
-                    task.a, task.b, task.c, exact_tiles=exact_tiles, checked=False
-                )
-                if faults is not None:
-                    faults.corrupt(group.index, strip, task.c)
+            self._restore(group, snap, kernel, exact_tiles, backend)
+            # Recompute through the same backend calls the clean path
+            # issued (group-mode stays group-mode): a reproducible
+            # backend then reproduces the clean bits exactly.
+            execute_group(backend, group, faults)
             self.report.retries += 1
             recheck = self._verify_group(group, snap)
             if recheck is None:
@@ -412,10 +446,14 @@ class GroupVerifier:
                 return
             failure = recheck
         if self.config.oracle_fallback:
-            # The oracle rung: identical arithmetic with operand checks
-            # on and injection bypassed — heals persistent corruption of
-            # the fast path while staying bit-exact.
-            self._restore(group, snap, kernel, exact_tiles)
+            # The oracle rung: per-strip micro-kernel arithmetic with
+            # operand checks on and injection bypassed — heals persistent
+            # corruption of the fast path. For the oracle backend the
+            # recomputed bits equal the clean run's exactly; for other
+            # backends they are the trusted oracle's bits (the group's
+            # update is then exact-by-construction, re-verified below
+            # within the tolerance band).
+            self._restore(group, snap, kernel, exact_tiles, backend)
             for task in group.tasks:
                 kernel.panel_matmul(
                     task.a, task.b, task.c, exact_tiles=exact_tiles, checked=True
@@ -434,24 +472,24 @@ class GroupVerifier:
         snap: "_Snapshot",
         kernel: "MicroKernel",
         exact_tiles: bool,
+        backend: "Backend | None" = None,
     ) -> None:
         if snap.data is None:
             # No snapshot was taken: zero the panel and replay its
-            # verified history (empty for a fresh panel). Replay is
-            # injection-free — every verified group's accepted bits
-            # equal a clean run's, so one unchecked pass reproduces
-            # the pre-group state bit-exactly.
+            # verified history (empty for a fresh panel; always empty
+            # for non-oracle backends, whose non-fresh panels take real
+            # snapshots). Replay is injection-free — every verified
+            # group's accepted bits equal a clean run's, so one
+            # unchecked pass reproduces the pre-group state bit-exactly.
+            if backend is None:
+                backend = NumpyBackend(kernel, exact_tiles=exact_tiles)
             if group.panel is not None:
                 group.panel.fill(0)
             else:
                 for task in group.tasks:
                     task.c.fill(0)
             for past in self._history.get(self._panel_key(group), []):
-                for task in past.tasks:
-                    kernel.panel_matmul(
-                        task.a, task.b, task.c,
-                        exact_tiles=exact_tiles, checked=False,
-                    )
+                execute_group(backend, past, None)
             return
         if group.panel is not None:
             np.copyto(group.panel, snap.data)

@@ -120,6 +120,27 @@ class PackedA:
         """The contiguous ``mc x kc`` sub-block at (strip, k_panel)."""
         return self.blocks[strip][k_panel]
 
+    def column(
+        self, k_panel: int, *, pool: BufferPool | None = None
+    ) -> np.ndarray:
+        """One contiguous operand spanning *every* strip at ``k_panel``.
+
+        The group-contiguous view whole-group backends multiply: all
+        ``mc``-row strips of the matrix at this K panel, stacked in
+        strip order as a single C-contiguous ``(M, kc)`` array. With a
+        single strip the packed block itself is returned (zero-copy —
+        the caller must not release it to a pool); with several, a
+        fresh (or pool-leased) buffer is filled with one concatenate.
+        """
+        parts = [row[k_panel] for row in self.blocks]
+        if len(parts) == 1:
+            return parts[0]
+        rows = sum(part.shape[0] for part in parts)
+        lease = pool.lease if pool is not None else np.empty
+        buf = lease((rows, parts[0].shape[1]), parts[0].dtype)
+        np.concatenate(parts, axis=0, out=buf)
+        return buf
+
     def checksum(self, strip: int, k_panel: int) -> np.ndarray:
         """The block's pack-time column checksum (length = block cols)."""
         if self.checksums is None:
