@@ -14,6 +14,7 @@ from repro.gemm.backends import Backend
 from repro.gemm.cake import CakeGemm
 from repro.gemm.goto import GotoGemm
 from repro.gemm.result import GemmRun
+from repro.gemm.sharded import ShardConfig
 from repro.gemm.verify import VerifyConfig
 from repro.machines.presets import intel_i9_10900k
 from repro.machines.spec import MachineSpec
@@ -29,6 +30,7 @@ def cake_matmul(
     workers: int | None = None,
     verify: bool | VerifyConfig = False,
     backend: str | Backend | None = None,
+    processes: int | ShardConfig | None = None,
 ) -> GemmRun:
     """Multiply ``a @ b`` with the CAKE engine.
 
@@ -60,6 +62,16 @@ def cake_matmul(
         per-strip numpy oracle. ``verify=True`` plus a non-oracle
         backend is the headline ABFT scenario: the fast path is
         checksum-validated and healed through the trusted oracle rung.
+    processes:
+        Worker *processes* for numeric execution
+        (:mod:`repro.gemm.sharded`): the CB block grid is partitioned
+        into a near-square shard grid, packed operands are shared
+        zero-copy through ``multiprocessing.shared_memory``, and each
+        shard runs the threaded executor in its own process. The
+        product is bit-identical to the serial path for every
+        (processes x workers x backend) combination; ``run.shards``
+        reports the grid, per-shard timers, and measured inter-process
+        bytes against the communication lower bound.
 
     Returns
     -------
@@ -72,7 +84,7 @@ def cake_matmul(
     machine = intel_i9_10900k() if machine is None else machine
     return CakeGemm(
         machine, cores=cores, alpha=alpha, workers=workers, verify=verify,
-        backend=backend,
+        backend=backend, processes=processes,
     ).multiply(a, b)
 
 
@@ -85,14 +97,16 @@ def goto_matmul(
     workers: int | None = None,
     verify: bool | VerifyConfig = False,
     backend: str | Backend | None = None,
+    processes: int | ShardConfig | None = None,
 ) -> GemmRun:
     """Multiply ``a @ b`` with the GOTO baseline engine (MKL/ARMPL model).
 
     Same contract as :func:`cake_matmul` (minus ``alpha``), including
-    the ``backend`` selector.
+    the ``backend`` and ``processes`` selectors (GOTO shards over its
+    ``mc``-strip rows and ``nc``-panel columns).
     """
     machine = intel_i9_10900k() if machine is None else machine
     return GotoGemm(
         machine, cores=cores, workers=workers, verify=verify,
-        backend=backend,
+        backend=backend, processes=processes,
     ).multiply(a, b)

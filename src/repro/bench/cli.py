@@ -115,6 +115,16 @@ def main(argv: list[str] | None = None) -> int:
         "repro.gemm.backends; e.g. numpy, blas-group); analytic-only "
         "experiments are unaffected",
     )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="P",
+        help="shard numeric experiments over this many worker processes "
+        "(see repro.gemm.sharded): packed operands are shared zero-copy "
+        "and the product stays bit-identical to the serial path; "
+        "analytic-only experiments are unaffected",
+    )
     args = parser.parse_args(argv)
 
     if args.backend is not None:
@@ -127,6 +137,14 @@ def main(argv: list[str] | None = None) -> int:
             set_default_backend(args.backend)
         except BackendCapabilityError as exc:
             parser.error(f"--backend: {exc}")
+
+    if args.processes is not None:
+        from repro.gemm.sharded import set_default_processes
+
+        try:
+            set_default_processes(args.processes)
+        except ValueError as exc:
+            parser.error(f"--processes: {exc}")
 
     if args.list:
         for name, fn in sorted(registry.items()):

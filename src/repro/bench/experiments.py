@@ -463,6 +463,86 @@ def backends_matrix(scale: str = "full", *, runtime=None) -> ExperimentReport:
     return rep
 
 
+def sharded_execution(scale: str = "full", *, runtime=None) -> ExperimentReport:
+    """Process-sharded execution: exactness, shard grid, and IPC traffic.
+
+    Not a paper figure — the CAKE-on-CAKE companion: the M x N grid of
+    CB blocks is partitioned into a near-square shard grid
+    (:mod:`repro.gemm.sharded`), packed operands live in shared-memory
+    segments that workers attach zero-copy, and each shard runs the
+    threaded executor in its own process. The product and the
+    schedule-derived counters must be bit-identical to the serial run
+    at every process count, and the measured inter-process bytes must
+    sit within the documented slack of the memory-independent
+    communication lower bound. The full-scale speedup floor is
+    enforced by ``benchmarks/bench_sharded.py``; this report records
+    the measured times at either scale and re-checks exactness at
+    every cell.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.gemm.cake import CakeGemm
+    from repro.gemm.sharded import IPC_SLACK_FACTOR
+
+    # cores=1 keeps the CB blocks small enough that the block grid has
+    # several rows and columns to shard (multi-core plans grow blocks
+    # until one covers these problem sizes whole).
+    m, n, k = (600, 840, 340) if scale == "full" else (300, 420, 170)
+    machine = intel_i9_10900k()
+    rep = ExperimentReport(
+        "sharded", f"Process-sharded CAKE execution ({m}x{n}x{k} MM, Intel i9)"
+    )
+    rng = np.random.default_rng(20218)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+
+    serial = CakeGemm(machine, cores=1).multiply(a, b)
+    rows = []
+    for processes in (1, 2, 4):
+        engine = CakeGemm(machine, cores=1, processes=processes)
+        t0 = _time.perf_counter()
+        run = engine.multiply(a, b)
+        dt = _time.perf_counter() - t0
+        if not np.array_equal(run.c, serial.c):
+            raise AssertionError(
+                f"sharded product drifted from serial at P={processes}"
+            )
+        if run.counters.without_ipc() != serial.counters.without_ipc():
+            raise AssertionError(
+                f"sharded counters drifted from serial at P={processes}"
+            )
+        if run.shards is not None:
+            grid = f"{run.shards.rows}x{run.shards.cols}"
+            slack = run.shards.slack
+            if slack > IPC_SLACK_FACTOR:
+                raise AssertionError(
+                    f"IPC slack {slack:.3f} exceeds the documented "
+                    f"{IPC_SLACK_FACTOR}x bound at P={processes}"
+                )
+            ipc = f"{run.counters.ipc_bytes / 1e6:.1f} MB"
+            slack_s = f"{slack:.3f}x"
+            rep.data.setdefault("slack", {})[processes] = slack
+        else:
+            grid, ipc, slack_s = "-", "-", "-"
+        rows.append(
+            [processes, grid, f"{dt * 1e3:.1f} ms", ipc, slack_s]
+        )
+        rep.data.setdefault("seconds", {})[processes] = dt
+        rep.data.setdefault("grids", {})[processes] = grid
+    rep.add_table(
+        ["processes", "shard grid", "wall time", "IPC traffic",
+         "IPC / lower bound"],
+        rows,
+    )
+    rep.add_line(
+        "product and schedule-derived counters bit-identical to serial "
+        "at every process count"
+    )
+    return rep
+
+
 EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "table2": table2_machines,
     "fig4": fig4_cb_scaling,
@@ -476,6 +556,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "fig12": fig12_amd_scaling,
     "verify": verify_overhead,
     "backends": backends_matrix,
+    "sharded": sharded_execution,
 }
 
 

@@ -45,7 +45,18 @@ class BackendCapabilityError(CakeError, TypeError):
     def __init__(self, backend: str, message: str, *, dtype=None):
         self.backend = backend
         self.dtype = dtype
+        self._message = message
         super().__init__(f"backend {backend!r}: {message}")
+
+    def __reduce__(self):
+        # The two-positional + keyword signature defeats the default
+        # exception reduce; shard workers may raise this across a
+        # process boundary, so rebuild explicitly.
+        return (
+            BackendCapabilityError,
+            (self.backend, self._message),
+            {"dtype": self.dtype},
+        )
 
 
 class ScheduleError(CakeError):

@@ -42,6 +42,20 @@ from repro.gemm.parallel import (
 )
 from repro.gemm.plan import CakePlan, GotoPlan
 from repro.gemm.result import GemmRun, degenerate_run
+from repro.gemm.sharded import (
+    IPC_SLACK_FACTOR,
+    ShardConfig,
+    ShardExecutionError,
+    ShardPlan,
+    ShardReport,
+    ShardSpan,
+    default_processes,
+    ipc_lower_bound_elements,
+    plan_shards,
+    resolve_shards,
+    select_shard_grid,
+    set_default_processes,
+)
 from repro.gemm.verify import (
     NumericFaultError,
     VerifyConfig,
@@ -73,6 +87,18 @@ __all__ = [
     "GotoPlan",
     "GemmRun",
     "degenerate_run",
+    "IPC_SLACK_FACTOR",
+    "ShardConfig",
+    "ShardExecutionError",
+    "ShardPlan",
+    "ShardReport",
+    "ShardSpan",
+    "default_processes",
+    "ipc_lower_bound_elements",
+    "plan_shards",
+    "resolve_shards",
+    "select_shard_grid",
+    "set_default_processes",
     "NumericFaultError",
     "VerifyConfig",
     "VerifyReport",

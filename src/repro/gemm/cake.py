@@ -42,6 +42,7 @@ from repro.gemm.parallel import (
     StripGroup,
     StripTask,
     check_multiply_operands,
+    core_strips,
     resolve_workers,
     run_strip_groups,
 )
@@ -53,24 +54,22 @@ from repro.gemm.verify import (
     VerifyReport,
     resolve_verify,
 )
+from repro.gemm.sharded import (
+    ShardConfig,
+    plan_shards,
+    resolve_shards,
+    run_sharded,
+)
 from repro.machines.spec import MachineSpec
 from repro.packing.cost import packing_cost
 from repro.packing.pack import pack_a_cake, pack_b_cake
-from repro.packing.pool import BufferPool
+from repro.packing.pool import BufferPool, SharedBufferPool
 from repro.perfmodel.roofline import ZERO_TIME, block_time
 from repro.schedule.reuse import SurfaceResidency
-from repro.schedule.space import ComputationSpace
-from repro.util import ceil_div, split_length
-
-
-def _core_strips(rows: int, cores: int) -> list[int]:
-    """Split a block's M extent evenly over the cores.
-
-    Returns at most ``cores`` strip heights differing by at most the
-    rounding chunk; fewer strips than cores means idle cores (only when
-    ``rows < cores``).
-    """
-    return split_length(rows, ceil_div(rows, cores))
+from repro.schedule.space import BlockCoord, ComputationSpace
+#: Backward-compatible alias: the strip partitioner now lives in
+#: :mod:`repro.gemm.parallel` so the sharded executor shares it.
+_core_strips = core_strips
 
 
 class CakeGemm:
@@ -123,6 +122,19 @@ class CakeGemm:
         names raise a structured
         :class:`~repro.errors.BackendCapabilityError` here, at
         construction.
+    processes:
+        Worker *processes* for numeric execution
+        (:mod:`repro.gemm.sharded`): the M x N grid of CB blocks is
+        partitioned into a near-square shard grid, packed operands are
+        placed in shared memory, and each shard runs this engine's
+        threaded executor in its own process on a disjoint C panel.
+        ``None``/1 is the ordinary in-process path; an int requests that
+        many processes (clamped to the block grid); a
+        :class:`~repro.gemm.sharded.ShardConfig` tunes rebuild/fallback
+        behaviour. The product is bit-identical to the serial path for
+        every (processes x workers x backend) combination. Incompatible
+        with ``exact_pack`` (workers rebuild the vectorized pack's
+        buffer grid) and with unregistered backend instances.
     """
 
     def __init__(
@@ -137,6 +149,7 @@ class CakeGemm:
         exact_pack: bool = False,
         verify: bool | VerifyConfig = False,
         backend: "str | Backend | None" = None,
+        processes: "int | ShardConfig | None" = None,
     ) -> None:
         self.machine = machine
         self.cores = cores
@@ -147,6 +160,13 @@ class CakeGemm:
         self.exact_pack = exact_pack
         self.verify = resolve_verify(verify)
         self.backend = resolve_backend(backend)
+        self.shards = resolve_shards(processes)
+        if self.shards is not None and self.exact_pack:
+            raise ConfigurationError(
+                "processes > 1 is incompatible with exact_pack: shard "
+                "workers rebuild the vectorized pack's buffer grid over "
+                "shared memory, which the loop oracle does not produce"
+            )
         self._pool = BufferPool()
 
     # -- public API ----------------------------------------------------------
@@ -220,24 +240,39 @@ class CakeGemm:
         kernel = plan.kernel
 
         numeric = a is not None
+        shards = self.shards if numeric else None
         verifying = numeric and self.verify is not None and self.verify.enabled
         timers = PhaseTimers()
+        arena: SharedBufferPool | None = None
         if numeric:
             assert b is not None
+            # Sharded runs pack into a shared-memory arena (workers
+            # attach the segments zero-copy) and compute checksum
+            # material inside each shard instead of at pack time.
+            arena = SharedBufferPool() if shards is not None else None
+            pool = arena if arena is not None else self._pool
             pack_start = time.perf_counter()
             packed_a = pack_a_cake(
                 a, plan.m_block, plan.kc,
-                pool=self._pool, exact=self.exact_pack, checksums=verifying,
+                pool=pool, exact=self.exact_pack,
+                checksums=verifying and shards is None,
             )
             packed_b = pack_b_cake(
                 b, plan.kc, plan.n_block,
-                pool=self._pool, exact=self.exact_pack, checksums=verifying,
+                pool=pool, exact=self.exact_pack,
+                checksums=verifying and shards is None,
             )
             timers.pack_seconds = time.perf_counter() - pack_start
-            c = np.zeros((space.m, space.n), dtype=np.result_type(a, b))
+            dtype = np.result_type(a, b)
+            if arena is not None:
+                c = arena.lease((space.m, space.n), dtype)
+                c[...] = 0
+            else:
+                c = np.zeros((space.m, space.n), dtype=dtype)
         else:
             packed_a = packed_b = None
             c = None
+        build_groups = numeric and shards is None
         groups: list[StripGroup] = []
 
         counters = TrafficCounters()
@@ -312,7 +347,7 @@ class CakeGemm:
             total = total + bt
             bound_blocks[bt.bound] += 1
 
-            if numeric:
+            if build_groups:
                 assert packed_a is not None and packed_b is not None and c is not None
                 a_block = packed_a.block(coord.mi, coord.ki)
                 b_panel = packed_b.panel(coord.ki, coord.ni)
@@ -363,34 +398,83 @@ class CakeGemm:
             )
 
         report = None
+        shard_report = None
         if numeric:
             assert packed_a is not None and packed_b is not None
-            verifier = faults = None
-            if self.verify is not None:
-                if self.verify.inject is not None:
-                    from repro.runtime.faults import NumericFaultInjector
-
-                    faults = NumericFaultInjector(self.verify.inject)
-                if verifying:
-                    report = VerifyReport(
-                        checksum_elements=packed_a.checksum_elements
-                        + packed_b.checksum_elements
+            if shards is not None:
+                assert arena is not None and c is not None
+                try:
+                    shard_plan = plan_shards(
+                        shards.processes,
+                        [
+                            grid.extent(BlockCoord(mi, 0, 0)).m
+                            for mi in range(grid.mb)
+                        ],
+                        [
+                            grid.extent(BlockCoord(0, ni, 0)).n
+                            for ni in range(grid.nb)
+                        ],
+                        space.k,
                     )
-                    verifier = GroupVerifier(self.verify, report, timers)
-            run_strip_groups(
-                groups,
-                kernel,
-                workers=self.workers,
-                exact_tiles=self.exact_tiles,
-                timers=timers,
-                verifier=verifier,
-                faults=faults,
-                backend=self.backend.create(
-                    kernel=kernel, exact_tiles=self.exact_tiles
-                ),
-            )
-            packed_a.release_to(self._pool)
-            packed_b.release_to(self._pool)
+                    counters.ipc_bytes = (
+                        shard_plan.ipc_elements * machine.element_bytes
+                    )
+                    shard_report, report = run_sharded(
+                        engine="cake",
+                        dims={
+                            "m": space.m,
+                            "n": space.n,
+                            "k": space.k,
+                            "m_block": plan.m_block,
+                            "n_block": plan.n_block,
+                            "kc": plan.kc,
+                            "mr": machine.mr,
+                            "nr": machine.nr,
+                            "cores": plan.cores,
+                        },
+                        plan=shard_plan,
+                        packed_a=packed_a,
+                        packed_b=packed_b,
+                        pool=arena,
+                        c=c,
+                        config=shards,
+                        workers=self.workers,
+                        backend=self.backend.name,
+                        verify=self.verify,
+                        exact_tiles=self.exact_tiles,
+                        timers=timers,
+                        element_bytes=machine.element_bytes,
+                    )
+                    c = c.copy()  # off the arena before it is destroyed
+                finally:
+                    arena.destroy()
+            else:
+                verifier = faults = None
+                if self.verify is not None:
+                    if self.verify.inject is not None:
+                        from repro.runtime.faults import NumericFaultInjector
+
+                        faults = NumericFaultInjector(self.verify.inject)
+                    if verifying:
+                        report = VerifyReport(
+                            checksum_elements=packed_a.checksum_elements
+                            + packed_b.checksum_elements
+                        )
+                        verifier = GroupVerifier(self.verify, report, timers)
+                run_strip_groups(
+                    groups,
+                    kernel,
+                    workers=self.workers,
+                    exact_tiles=self.exact_tiles,
+                    timers=timers,
+                    verifier=verifier,
+                    faults=faults,
+                    backend=self.backend.create(
+                        kernel=kernel, exact_tiles=self.exact_tiles
+                    ),
+                )
+                packed_a.release_to(self._pool)
+                packed_b.release_to(self._pool)
 
         return GemmRun(
             engine="cake",
@@ -414,4 +498,6 @@ class CakeGemm:
             backend=self.backend.name if numeric else "numpy",
             phase_seconds=timers.as_dict() if numeric else None,
             verify=report,
+            processes=shard_report.processes if shard_report is not None else 1,
+            shards=shard_report,
         )

@@ -36,6 +36,13 @@ class TrafficCounters:
         core's tile count per block, summed).
     macs:
         Multiply-accumulate operations actually executed.
+    ipc_bytes:
+        Inter-process traffic of a process-sharded run
+        (:mod:`repro.gemm.sharded`), in **bytes**: the packed A/B panel
+        surface each shard worker attaches plus the C panel it writes
+        back, derived deterministically from the shard plan (never
+        measured from the OS). Zero for in-process runs, so equality of
+        serial and sharded counters is checked via :meth:`without_ipc`.
     """
 
     ext_a_read: int = 0
@@ -47,6 +54,7 @@ class TrafficCounters:
     internal: int = 0
     tile_cycles: float = 0.0
     macs: int = 0
+    ipc_bytes: int = 0
 
     @property
     def ext_compute_elements(self) -> int:
@@ -79,3 +87,24 @@ class TrafficCounters:
         self.internal += other.internal
         self.tile_cycles += other.tile_cycles
         self.macs += other.macs
+        self.ipc_bytes += other.ipc_bytes
+
+    def without_ipc(self) -> "TrafficCounters":
+        """A copy with :attr:`ipc_bytes` zeroed.
+
+        The schedule-derived tallies of a process-sharded run must equal
+        the serial walk's exactly; only the IPC surface differs. Tests
+        and benches compare ``run.counters.without_ipc() ==
+        serial.counters`` to assert that.
+        """
+        return TrafficCounters(
+            ext_a_read=self.ext_a_read,
+            ext_b_read=self.ext_b_read,
+            ext_c_write=self.ext_c_write,
+            ext_c_spill=self.ext_c_spill,
+            ext_c_read=self.ext_c_read,
+            ext_pack=self.ext_pack,
+            internal=self.internal,
+            tile_cycles=self.tile_cycles,
+            macs=self.macs,
+        )

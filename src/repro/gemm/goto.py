@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.gemm.backends import Backend, resolve_backend
 from repro.gemm.counters import TrafficCounters
 from repro.gemm.parallel import (
@@ -42,10 +43,16 @@ from repro.gemm.verify import (
     VerifyReport,
     resolve_verify,
 )
+from repro.gemm.sharded import (
+    ShardConfig,
+    plan_shards,
+    resolve_shards,
+    run_sharded,
+)
 from repro.machines.spec import MachineSpec
 from repro.packing.cost import packing_cost
 from repro.packing.pack import pack_a_goto, pack_b_goto
-from repro.packing.pool import BufferPool
+from repro.packing.pool import BufferPool, SharedBufferPool
 from repro.perfmodel.roofline import ZERO_TIME, block_time
 from repro.schedule.space import ComputationSpace
 from repro.util import split_length
@@ -73,6 +80,7 @@ class GotoGemm:
         exact_pack: bool = False,
         verify: bool | VerifyConfig = False,
         backend: "str | Backend | None" = None,
+        processes: "int | ShardConfig | None" = None,
     ) -> None:
         self.machine = machine
         self.cores = cores
@@ -82,6 +90,13 @@ class GotoGemm:
         self.exact_pack = exact_pack
         self.verify = resolve_verify(verify)
         self.backend = resolve_backend(backend)
+        self.shards = resolve_shards(processes)
+        if self.shards is not None and self.exact_pack:
+            raise ConfigurationError(
+                "processes > 1 is incompatible with exact_pack: shard "
+                "workers rebuild the vectorized pack's buffer grid over "
+                "shared memory, which the loop oracle does not produce"
+            )
         self._pool = BufferPool()
 
     # -- public API ----------------------------------------------------------
@@ -139,24 +154,39 @@ class GotoGemm:
         kernel = plan.kernel
 
         numeric = a is not None
+        shards = self.shards if numeric else None
         verifying = numeric and self.verify is not None and self.verify.enabled
         timers = PhaseTimers()
+        arena: SharedBufferPool | None = None
         if numeric:
             assert b is not None
+            # Sharded runs pack into a shared-memory arena (workers
+            # attach the segments zero-copy) and compute checksum
+            # material inside each shard instead of at pack time.
+            arena = SharedBufferPool() if shards is not None else None
+            pool = arena if arena is not None else self._pool
             pack_start = time.perf_counter()
             packed_a = pack_a_goto(
                 a, plan.mc, plan.kc,
-                pool=self._pool, exact=self.exact_pack, checksums=verifying,
+                pool=pool, exact=self.exact_pack,
+                checksums=verifying and shards is None,
             )
             packed_b = pack_b_goto(
                 b, plan.kc, plan.nc,
-                pool=self._pool, exact=self.exact_pack, checksums=verifying,
+                pool=pool, exact=self.exact_pack,
+                checksums=verifying and shards is None,
             )
             timers.pack_seconds = time.perf_counter() - pack_start
-            c = np.zeros((space.m, space.n), dtype=np.result_type(a, b))
+            dtype = np.result_type(a, b)
+            if arena is not None:
+                c = arena.lease((space.m, space.n), dtype)
+                c[...] = 0
+            else:
+                c = np.zeros((space.m, space.n), dtype=dtype)
         else:
             packed_a = packed_b = None
             c = None
+        build_groups = numeric and shards is None
         groups: list[StripGroup] = []
         # A slice-group's column checksum spans every mc-strip of A at
         # that ki; identical for all ni, so summed once per ki. The
@@ -234,7 +264,7 @@ class GotoGemm:
                     total = total + bt
                     bound_blocks[bt.bound] += 1
 
-                    if numeric:
+                    if build_groups:
                         assert (
                             packed_a is not None
                             and packed_b is not None
@@ -252,7 +282,7 @@ class GotoGemm:
                                     c[m0 : m0 + rows, n0 : n0 + nc_actual],
                                 )
                             )
-                if numeric:
+                if build_groups:
                     assert packed_a is not None and packed_b is not None
                     cs_a = cs_b = a_full = mag_a = mag_b = None
                     # The concatenated A operand serves two consumers: the
@@ -302,39 +332,78 @@ class GotoGemm:
                     )
 
         report = None
+        shard_report = None
         if numeric:
             assert packed_a is not None and packed_b is not None
-            verifier = faults = None
-            if self.verify is not None:
-                if self.verify.inject is not None:
-                    from repro.runtime.faults import NumericFaultInjector
-
-                    faults = NumericFaultInjector(self.verify.inject)
-                if verifying:
-                    report = VerifyReport(
-                        checksum_elements=packed_a.checksum_elements
-                        + packed_b.checksum_elements
+            if shards is not None:
+                assert arena is not None and c is not None
+                try:
+                    shard_plan = plan_shards(
+                        shards.processes, m_strips, n_sizes, space.k
                     )
-                    verifier = GroupVerifier(self.verify, report, timers)
-            run_strip_groups(
-                groups,
-                kernel,
-                workers=self.workers,
-                exact_tiles=self.exact_tiles,
-                timers=timers,
-                verifier=verifier,
-                faults=faults,
-                backend=self.backend.create(
-                    kernel=kernel, exact_tiles=self.exact_tiles
-                ),
-            )
-            packed_a.release_to(self._pool)
-            packed_b.release_to(self._pool)
-            # Single-strip columns are zero-copy views into the pack
-            # buffers (released above); only multi-strip concatenations
-            # were leased.
-            if a_full_by_ki and packed_a.strips > 1:
-                self._pool.release(*a_full_by_ki.values())
+                    counters.ipc_bytes = (
+                        shard_plan.ipc_elements * machine.element_bytes
+                    )
+                    shard_report, report = run_sharded(
+                        engine="goto",
+                        dims={
+                            "m": space.m,
+                            "n": space.n,
+                            "k": space.k,
+                            "mc": plan.mc,
+                            "kc": plan.kc,
+                            "nc": plan.nc,
+                            "mr": machine.mr,
+                            "nr": machine.nr,
+                        },
+                        plan=shard_plan,
+                        packed_a=packed_a,
+                        packed_b=packed_b,
+                        pool=arena,
+                        c=c,
+                        config=shards,
+                        workers=self.workers,
+                        backend=self.backend.name,
+                        verify=self.verify,
+                        exact_tiles=self.exact_tiles,
+                        timers=timers,
+                        element_bytes=machine.element_bytes,
+                    )
+                    c = c.copy()  # off the arena before it is destroyed
+                finally:
+                    arena.destroy()
+            else:
+                verifier = faults = None
+                if self.verify is not None:
+                    if self.verify.inject is not None:
+                        from repro.runtime.faults import NumericFaultInjector
+
+                        faults = NumericFaultInjector(self.verify.inject)
+                    if verifying:
+                        report = VerifyReport(
+                            checksum_elements=packed_a.checksum_elements
+                            + packed_b.checksum_elements
+                        )
+                        verifier = GroupVerifier(self.verify, report, timers)
+                run_strip_groups(
+                    groups,
+                    kernel,
+                    workers=self.workers,
+                    exact_tiles=self.exact_tiles,
+                    timers=timers,
+                    verifier=verifier,
+                    faults=faults,
+                    backend=self.backend.create(
+                        kernel=kernel, exact_tiles=self.exact_tiles
+                    ),
+                )
+                packed_a.release_to(self._pool)
+                packed_b.release_to(self._pool)
+                # Single-strip columns are zero-copy views into the pack
+                # buffers (released above); only multi-strip concatenations
+                # were leased.
+                if a_full_by_ki and packed_a.strips > 1:
+                    self._pool.release(*a_full_by_ki.values())
 
         return GemmRun(
             engine="goto",
@@ -356,6 +425,8 @@ class GotoGemm:
             backend=self.backend.name if numeric else "numpy",
             phase_seconds=timers.as_dict() if numeric else None,
             verify=report,
+            processes=shard_report.processes if shard_report is not None else 1,
+            shards=shard_report,
         )
 
 

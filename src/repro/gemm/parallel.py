@@ -94,7 +94,7 @@ from repro.gemm.backends.base import (
 )
 from repro.gemm.backends.numpy_backend import NumpyBackend
 from repro.gemm.microkernel import MicroKernel
-from repro.util import require_positive
+from repro.util import ceil_div, require_positive, split_length
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.gemm.backends.registry import BackendSpec
@@ -168,6 +168,18 @@ class PhaseTimers:
             "verify": self.verify_seconds,
             "recover": self.recover_seconds,
         }
+
+
+def core_strips(rows: int, cores: int) -> list[int]:
+    """Split a block's M extent evenly over the cores.
+
+    Returns at most ``cores`` strip heights differing by at most the
+    rounding chunk; fewer strips than cores means idle cores (only when
+    ``rows < cores``). Shared by the CAKE engine's schedule walk and the
+    process-sharded executor, which must carve identical strips for the
+    bit-identity contract to hold.
+    """
+    return split_length(rows, ceil_div(rows, cores))
 
 
 def resolve_workers(workers: int | None) -> int:

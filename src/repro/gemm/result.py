@@ -20,6 +20,7 @@ from repro.perfmodel.roofline import ZERO_TIME, BlockTime
 from repro.schedule.space import ComputationSpace, DegenerateSpace
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.gemm.sharded import ShardReport
     from repro.gemm.verify import VerifyReport
 
 
@@ -77,6 +78,15 @@ class GemmRun:
         unverified runs — TrafficCounters themselves never change with
         verification, which is what keeps verified and unverified
         accounting bit-identical.
+    processes:
+        Worker *processes* the numerics ran across
+        (:mod:`repro.gemm.sharded`); 1 for ordinary in-process runs.
+        Like ``workers`` this describes host execution, not the
+        modelled ``cores``.
+    shards:
+        The shard grid, per-shard phase timers, measured inter-process
+        bytes vs the communication lower bound, and rebuild/fallback
+        counts when the run was process-sharded; ``None`` otherwise.
     """
 
     engine: str
@@ -93,6 +103,8 @@ class GemmRun:
     backend: str = "numpy"
     phase_seconds: dict[str, float] | None = None
     verify: "VerifyReport | None" = None
+    processes: int = 1
+    shards: "ShardReport | None" = None
 
     @property
     def seconds(self) -> float:

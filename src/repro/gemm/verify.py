@@ -146,6 +146,24 @@ class NumericFaultError(CakeError):
             f"exceeds tolerance {failure.tolerance:.6g}"
         )
 
+    def __reduce__(self):
+        # Custom three-argument __init__: the default exception reduce
+        # (cls, self.args) cannot rebuild it, which matters once shard
+        # workers raise this across a process boundary.
+        return (
+            NumericFaultError,
+            (
+                self.label,
+                self.coord,
+                IdentityFailure(
+                    identity=self.identity,
+                    strip=self.strip,
+                    residual=self.residual,
+                    tolerance=self.tolerance,
+                ),
+            ),
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class IdentityFailure:

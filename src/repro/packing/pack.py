@@ -87,6 +87,11 @@ class PackedA:
     magnitudes: list[list[tuple[np.ndarray, np.ndarray]]] | None = field(
         default=None, repr=False
     )
+    #: The backing-buffer decomposition of a vectorized pack (``None``
+    #: for the loop oracle) — what the sharded executor ships to worker
+    #: processes so they can rebuild this exact block grid over
+    #: shared-memory segments (:func:`grid_views`).
+    parts: "GridParts | None" = field(default=None, repr=False)
 
     @property
     def strips(self) -> int:
@@ -180,6 +185,8 @@ class PackedB:
     magnitudes: list[list[tuple[np.ndarray, np.ndarray]]] | None = field(
         default=None, repr=False
     )
+    #: Backing-buffer decomposition, as on :attr:`PackedA.parts`.
+    parts: "GridParts | None" = field(default=None, repr=False)
 
     @property
     def k_panels(self) -> int:
@@ -263,7 +270,7 @@ def pack_a(
         buffers = buffers + held
     return PackedA(
         blocks=blocks, mc=mc, kc=kc, buffers=buffers,
-        checksums=cs, magnitudes=mags,
+        checksums=cs, magnitudes=mags, parts=parts,
     )
 
 
@@ -299,7 +306,7 @@ def pack_b(
         buffers = buffers + held
     return PackedB(
         panels=panels, kc=kc, n_block=n_block, buffers=buffers,
-        checksums=cs, magnitudes=mags,
+        checksums=cs, magnitudes=mags, parts=parts,
     )
 
 
@@ -315,13 +322,18 @@ pack_b_goto = pack_b
 # -- vectorized packing -------------------------------------------------------
 
 
-class _GridParts(NamedTuple):
+class GridParts(NamedTuple):
     """The <= 4 backing buffers of a vectorized pack, plus grid extents.
 
     ``main`` holds the uniform interior blocks block-major; ``right``,
     ``bottom`` and ``corner`` the ragged edges. ``r_full``/``c_full``
     count full-size block rows/columns — the grid coordinates where the
     edge buffers start.
+
+    This record is the *transportable* form of a vectorized pack: the
+    sharded executor ships each part's shared-memory segment to worker
+    processes, which rebuild the identical block-view grid with
+    :func:`grid_views` — same buffers, same strides, same bits.
     """
 
     main: np.ndarray | None
@@ -332,12 +344,41 @@ class _GridParts(NamedTuple):
     c_full: int
 
 
+def grid_views(parts: GridParts) -> list[list[np.ndarray]]:
+    """The block-view grid over a vectorized pack's backing buffers.
+
+    ``grid[i][j]`` is the C-contiguous view of block ``(i, j)`` — interior
+    blocks index into ``main``, ragged edges into ``right``/``bottom``/
+    ``corner``. Pure view arithmetic over ``parts``: calling it in another
+    process on attached copies of the same segments yields views over the
+    same bytes, which is what makes shard workers' packed operands
+    bit-identical to the parent's.
+    """
+    main, right, bottom, corner, r_full, c_full = parts
+    nb_r = r_full + (1 if bottom is not None or corner is not None else 0)
+    nb_c = c_full + (1 if right is not None or corner is not None else 0)
+    grid: list[list[np.ndarray]] = []
+    for i in range(nb_r):
+        row: list[np.ndarray] = []
+        for j in range(nb_c):
+            if i < r_full and j < c_full:
+                row.append(main[i, j])
+            elif i < r_full:
+                row.append(right[i])
+            elif j < c_full:
+                row.append(bottom[j])
+            else:
+                row.append(corner)
+        grid.append(row)
+    return grid
+
+
 def _pack_grid(
     x: np.ndarray,
     row_chunk: int,
     col_chunk: int,
     pool: BufferPool | None,
-) -> tuple[list[list[np.ndarray]], tuple[np.ndarray, ...], _GridParts]:
+) -> tuple[list[list[np.ndarray]], tuple[np.ndarray, ...], GridParts]:
     """Blocked copy of ``x`` as C-contiguous views into <= 4 big buffers.
 
     The interior blocks (all full ``row_chunk x col_chunk``) land in one
@@ -389,24 +430,8 @@ def _pack_grid(
         np.copyto(corner, x[r_full * rc :, c_full * cc :])
         buffers.append(corner)
 
-    nb_r = r_full + (1 if r_rem else 0)
-    nb_c = c_full + (1 if c_rem else 0)
-    grid: list[list[np.ndarray]] = []
-    for i in range(nb_r):
-        row: list[np.ndarray] = []
-        for j in range(nb_c):
-            if i < r_full and j < c_full:
-                row.append(main[i, j])
-            elif i < r_full:
-                row.append(right[i])
-            elif j < c_full:
-                row.append(bottom[j])
-            else:
-                row.append(corner)
-        grid.append(row)
-    return grid, tuple(buffers), _GridParts(
-        main, right, bottom, corner, r_full, c_full
-    )
+    parts = GridParts(main, right, bottom, corner, r_full, c_full)
+    return grid_views(parts), tuple(buffers), parts
 
 
 # -- ABFT checksum vectors ----------------------------------------------------
@@ -474,7 +499,7 @@ def _checksum_grids(
 
 def _checksum_grids_fast(
     grid: list[list[np.ndarray]],
-    parts: _GridParts,
+    parts: GridParts,
     axis: int,
     pool: BufferPool | None,
 ) -> tuple[

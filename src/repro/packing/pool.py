@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from multiprocessing import shared_memory
+from typing import NamedTuple
 
 import numpy as np
 
@@ -77,6 +79,16 @@ class BufferPool:
                 self.hits += 1
                 return buf
             self.misses += 1
+        return self._allocate(shape, dtype)
+
+    def _allocate(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Allocate a fresh buffer on a pool miss (subclass seam).
+
+        The zero-element short-circuit and the lease/release bookkeeping
+        live in :meth:`lease`; subclasses only change *where* the bytes
+        come from (:class:`SharedBufferPool` puts them in shared-memory
+        segments). Runs outside the pool lock.
+        """
         return np.empty(shape, dtype=dtype)
 
     def release(self, *buffers: np.ndarray) -> None:
@@ -107,3 +119,101 @@ class BufferPool:
         with self._lock:
             self._free.clear()
             self._retained_bytes = 0
+
+
+class SegmentSpec(NamedTuple):
+    """A picklable handle to one shared-memory-backed buffer.
+
+    ``name`` is the OS-level segment name a worker process attaches
+    with ``SharedMemory(name=...)``; ``shape``/``dtype_str`` rebuild the
+    identical ndarray view over the mapping.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype_str: str
+
+
+class SharedBufferPool(BufferPool):
+    """A :class:`BufferPool` whose buffers live in shared memory.
+
+    The process-sharded executor (:mod:`repro.gemm.sharded`) packs A and
+    B through one of these, so every packed buffer is backed by a
+    ``multiprocessing.shared_memory`` segment that shard workers attach
+    **zero-copy** — the parent ships segment names, never array bytes.
+
+    Lease/release semantics are inherited unchanged, which is the
+    satellite contract this class exists to honour:
+
+    * ``release`` returns the buffer object itself to the free list — it
+      never copies out of the segment, so a re-leased buffer is the same
+      shared mapping (tests assert identity);
+    * a zero-element lease short-circuits to a private ``np.empty``
+      before any allocation, exactly like the in-process path —
+      ``SharedMemory(create=True, size=0)`` would raise, and a zero-byte
+      segment is useless to share anyway.
+
+    The pool owns its segments: it keeps a strong reference to every
+    (buffer, segment) pair so buffer ids stay stable for
+    :meth:`segment_of` lookups, and :meth:`destroy` closes **and
+    unlinks** them all. The creating process must call :meth:`destroy`
+    when the run is done; workers only ever attach.
+    """
+
+    def __init__(self, max_retained_bytes: int = DEFAULT_MAX_RETAINED_BYTES):
+        super().__init__(max_retained_bytes)
+        self._segments_lock = threading.Lock()
+        # id(buffer) -> (buffer, segment). The buffer reference keeps the
+        # id from being recycled while the pool is alive.
+        self._segments: dict[
+            int, tuple[np.ndarray, shared_memory.SharedMemory]
+        ] = {}
+
+    def _allocate(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        buf = np.ndarray(shape, dtype=dt, buffer=segment.buf)
+        with self._segments_lock:
+            self._segments[id(buf)] = (buf, segment)
+        return buf
+
+    def segment_of(self, buf: np.ndarray) -> SegmentSpec:
+        """The picklable handle for a buffer this pool allocated.
+
+        Accepts the leased buffer itself (views into it resolve via
+        ``.base`` on the caller's side if needed). Raises ``KeyError``
+        for arrays the pool does not own.
+        """
+        with self._segments_lock:
+            owned, segment = self._segments[id(buf)]
+        if owned is not buf:  # pragma: no cover - id collision guard
+            raise KeyError("buffer is not owned by this pool")
+        return SegmentSpec(
+            name=segment.name,
+            shape=tuple(buf.shape),
+            dtype_str=buf.dtype.str,
+        )
+
+    def destroy(self) -> None:
+        """Close and unlink every segment; the pool is unusable after.
+
+        Buffers handed out by :meth:`lease` become invalid — callers
+        must have copied any results they keep (the sharded executor
+        copies C out of the arena before destroying it).
+        """
+        self.clear()
+        with self._segments_lock:
+            pairs = list(self._segments.values())
+            self._segments.clear()
+        while pairs:
+            buf, segment = pairs.pop()
+            del buf  # drop this reference; callers may still hold views
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - views still exported
+                pass  # mapping lives until those views die; unlink anyway
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass

@@ -211,7 +211,7 @@ class FaultInjector:
 
 # -- numeric faults (strip-output corruption) ---------------------------------
 
-_NUMERIC_KINDS = ("bitflip", "scale", "zero")
+_NUMERIC_KINDS = ("bitflip", "scale", "zero", "kill")
 
 #: Default bit to flip per element width: the most-significant exponent
 #: bit, so a flipped value lands far outside any plausible tolerance band
@@ -237,7 +237,14 @@ class NumericFaultRule:
       taken modulo the strip panel's shape; ``bit=None`` flips the top
       exponent bit for the panel's dtype);
     * ``scale`` — multiply the whole strip panel by ``factor``;
-    * ``zero`` — overwrite the strip panel with zeros.
+    * ``zero`` — overwrite the strip panel with zeros;
+    * ``kill`` — terminate the hosting process mid-group via
+      ``os._exit``, the crash a shard worker of the process-sharded
+      executor must survive. Like the task-level kill rule it only
+      physically fires inside a pool worker (marked by the pool
+      initializer); in inline execution it is inert — it neither kills
+      nor consumes its budget, so an inline-fallback re-run of a killed
+      shard computes cleanly.
     """
 
     block: int | str = "*"
@@ -272,9 +279,18 @@ class NumericFaultRule:
 
 @dataclass(frozen=True, slots=True)
 class NumericFaultPlan:
-    """A set of :class:`NumericFaultRule` applied by one injector."""
+    """A set of :class:`NumericFaultRule` applied by one injector.
+
+    Without ``state_dir`` firing counts live in the injector (per
+    process); with it they persist on disk keyed by ``(rule, block,
+    strip)``, surviving worker kills and pool rebuilds — the numeric
+    analogue of :attr:`FaultPlan.state_dir`, and the only way to express
+    "kill the shard worker once, then let the re-run succeed" across a
+    process boundary.
+    """
 
     rules: tuple[NumericFaultRule, ...]
+    state_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not self.rules:
@@ -283,13 +299,18 @@ class NumericFaultPlan:
     @classmethod
     def from_json(cls, doc: object) -> "NumericFaultPlan":
         """Build a plan from a decoded JSON rule list (or ``{"rules": ...}``)."""
+        state_dir = None
         if isinstance(doc, dict):
+            state_dir = doc.get("state_dir")
             doc = doc.get("rules", ())
         if not isinstance(doc, (list, tuple)):
             raise ValueError(
                 f"numeric fault plan must be a JSON list or object, got {doc!r}"
             )
-        return cls(rules=tuple(NumericFaultRule(**rule) for rule in doc))
+        return cls(
+            rules=tuple(NumericFaultRule(**rule) for rule in doc),
+            state_dir=None if state_dir is None else str(state_dir),
+        )
 
 
 class NumericFaultInjector:
@@ -307,18 +328,49 @@ class NumericFaultInjector:
         self.fired = 0
         self._lock = threading.Lock()
         self._counts: dict[tuple[int, int, int], int] = {}
+        if plan.state_dir is not None:
+            Path(plan.state_dir).mkdir(parents=True, exist_ok=True)
+
+    def _count_path(self, key: tuple[int, int, int]) -> Path:
+        index, block, strip = key
+        return (
+            Path(self.plan.state_dir)  # type: ignore[arg-type]
+            / f"numeric.{index}.{block}.{strip}.fired"
+        )
+
+    def _get_count(self, key: tuple[int, int, int]) -> int:
+        if self.plan.state_dir is None:
+            return self._counts.get(key, 0)
+        try:
+            return int(self._count_path(key).read_text())
+        except (FileNotFoundError, ValueError):
+            return 0
+
+    def _set_count(self, key: tuple[int, int, int], count: int) -> None:
+        self._counts[key] = count
+        if self.plan.state_dir is not None:
+            self._count_path(key).write_text(str(count))
 
     def corrupt(self, block: int, strip: int, panel: np.ndarray) -> bool:
-        """Corrupt ``panel`` in place if an unexhausted rule matches."""
+        """Corrupt ``panel`` in place if an unexhausted rule matches.
+
+        ``kill`` rules are inert outside pool workers: they neither fire
+        nor consume budget, so the orchestrator (and any inline-fallback
+        re-run) can never be taken down by its own injection plan. The
+        firing count is recorded *before* the process dies, so a rebuilt
+        worker reading a shared ``state_dir`` sees the budget spent.
+        """
         for index, rule in enumerate(self.plan.rules):
             if not rule.matches(block, strip):
                 continue
+            if rule.kind == "kill" and not in_worker_process():
+                continue
             key = (index, block, strip)
             with self._lock:
-                count = self._counts.get(key, 0)
+                count = self._get_count(key)
                 if count >= rule.times:
                     continue
-                self._counts[key] = count + 1
+                self._set_count(key, count + 1)
                 self.fired += 1
             self._apply(rule, panel)
             return True
@@ -326,6 +378,8 @@ class NumericFaultInjector:
 
     @staticmethod
     def _apply(rule: NumericFaultRule, panel: np.ndarray) -> None:
+        if rule.kind == "kill":
+            os._exit(3)
         if rule.kind == "zero":
             panel[...] = 0
             return

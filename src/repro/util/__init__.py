@@ -4,6 +4,7 @@ from repro.util.rounding import (
     ceil_div,
     floor_to_multiple,
     round_to_multiple,
+    split_even,
     split_length,
 )
 from repro.util.units import (
@@ -28,6 +29,7 @@ __all__ = [
     "ceil_div",
     "floor_to_multiple",
     "round_to_multiple",
+    "split_even",
     "split_length",
     "BYTES_PER_KIB",
     "BYTES_PER_MIB",

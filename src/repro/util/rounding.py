@@ -54,6 +54,29 @@ def floor_to_multiple(value: int, multiple: int) -> int:
     return max((value // multiple) * multiple, multiple)
 
 
+def split_even(total: int, parts: int) -> list[int]:
+    """Split ``total`` into exactly ``parts`` balanced chunks.
+
+    Chunk sizes differ by at most one and sum to ``total``; the larger
+    chunks come first. Requires ``parts <= total`` so every chunk is
+    non-empty — this is the partitioner behind the process-shard grid,
+    where an empty shard would be a wasted worker.
+
+    >>> split_even(10, 3)
+    [4, 3, 3]
+    >>> split_even(8, 4)
+    [2, 2, 2, 2]
+    """
+    require_positive("total", total)
+    require_positive("parts", parts)
+    if parts > total:
+        raise ValueError(
+            f"cannot split {total} into {parts} non-empty parts"
+        )
+    base, rem = divmod(total, parts)
+    return [base + 1] * rem + [base] * (parts - rem)
+
+
 def split_length(total: int, chunk: int) -> list[int]:
     """Split ``total`` into consecutive chunks of size ``chunk``.
 

@@ -172,6 +172,28 @@ class TestConformance:
             run = engine.multiply(aa, bb)
             assert np.array_equal(run.c, base.c)
 
+    @pytest.mark.parametrize("processes", [2, 3])
+    def test_process_count_invariance(
+        self, intel, engine_cls, backend_name, processes, rng
+    ):
+        # Process sharding (repro.gemm.sharded) never moves a backend's
+        # own bits either: K is never split, so every C element's full
+        # accumulation sequence stays inside one shard.
+        a = rng.standard_normal((300, 170))
+        b = rng.standard_normal((170, 420))
+        serial = engine_cls(
+            intel, cores=1, backend=backend_name
+        ).multiply(a, b)
+        sharded = engine_cls(
+            intel, cores=1, backend=backend_name, processes=processes,
+            workers=2,
+        ).multiply(a, b)
+        assert np.array_equal(serial.c, sharded.c)
+        assert (
+            serial.counters.without_ipc() == sharded.counters.without_ipc()
+        )
+        assert sharded.backend == backend_name
+
     def test_verified_run_is_bit_clean(self, intel, engine_cls, backend_name, rng):
         # verify=True on a clean run changes nothing — for ANY backend.
         a = rng.standard_normal((150, 260))
