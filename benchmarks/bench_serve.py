@@ -1,0 +1,198 @@
+"""GEMM-as-a-service benchmark: the serving layer under load and faults.
+
+Two phases, both audited bit-for-bit:
+
+* **Concurrency sweep.** Closed-loop clients (1, 2, 4 by default)
+  stream Fig-8 skewed multiplies through one
+  :class:`~repro.serve.server.MultiplyServer` per level. Every
+  successful response is checked ``np.array_equal`` against a direct
+  ``cake_matmul`` reference — the server may coalesce, retry, and
+  degrade, but it may not change bits. With a deadline configured,
+  the p99 latency of admitted-and-completed requests must sit under
+  it (the deadline machinery would have expired anything slower).
+* **Fault soak.** A short :func:`~repro.serve.soak.run_soak` with
+  kill/hang/bitflip/transient rules firing while traffic flows. Zero
+  silent wrong answers and zero deadlocks are hard assertions; the
+  hang variant must expire via its deadline rather than stall the run.
+
+Results land in ``benchmarks/results/BENCH_serve.json``
+(cake-bench/v1), one row per concurrency level plus one soak row.
+
+Environment knobs:
+
+``CAKE_SERVE_BENCH_N``
+    Fig-8 scale (default 256: the skewed shape is ``N/4 x N x 2N``).
+``CAKE_SERVE_CLIENTS``
+    Comma-separated concurrency levels (default ``1,2,4``).
+``CAKE_SERVE_REQUESTS``
+    Requests per client per level (default 6).
+``CAKE_SERVE_DEADLINE_MS``
+    Per-request deadline for the sweep (default 30000 ms — generous,
+    so admitted work completes and the p99-under-deadline assertion is
+    about the *accounting*, not the host's speed).
+``CAKE_SERVE_SOAK_SECONDS``
+    Fault-soak duration (default 6 s; CI's dedicated soak step runs
+    longer).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.machines import intel_i9_10900k
+from repro.runtime import write_bench_json
+from repro.serve.loadgen import OperandSet, run_load
+from repro.serve.server import MultiplyServer
+from repro.serve.soak import run_soak
+
+from .conftest import RESULTS_DIR
+
+FULL_N = 256
+N = int(os.environ.get("CAKE_SERVE_BENCH_N", str(FULL_N)))
+CLIENT_LEVELS = tuple(
+    int(part)
+    for part in os.environ.get("CAKE_SERVE_CLIENTS", "1,2,4").split(",")
+    if part.strip()
+)
+REQUESTS_PER_CLIENT = int(os.environ.get("CAKE_SERVE_REQUESTS", "6"))
+DEADLINE_SECONDS = (
+    float(os.environ.get("CAKE_SERVE_DEADLINE_MS", "30000")) / 1000.0
+)
+SOAK_SECONDS = float(os.environ.get("CAKE_SERVE_SOAK_SECONDS", "6"))
+
+
+def test_serve(benchmark):
+    machine = intel_i9_10900k()
+    rows: list[dict] = []
+    soak_report: dict = {}
+
+    def run():
+        rows.clear()
+        operands = OperandSet.figure8_skewed(N, machine=machine)
+        for clients in CLIENT_LEVELS:
+            with MultiplyServer(
+                machine,
+                capacity=max(64, 4 * clients),
+                executors=2,
+                default_deadline=DEADLINE_SECONDS,
+            ) as server:
+                report = run_load(
+                    server,
+                    operands,
+                    clients=clients,
+                    requests_per_client=REQUESTS_PER_CLIENT,
+                    deadline=DEADLINE_SECONDS,
+                )
+                stats = server.stats()
+            rows.append(
+                {
+                    "phase": "sweep",
+                    **report.as_dict(),
+                    "deadline_seconds": DEADLINE_SECONDS,
+                    "batches": stats.batches,
+                    "coalesced": stats.coalesced,
+                    "retries": stats.retries,
+                    "degradations": stats.degradations,
+                    "pool_hits": stats.pool.get("hits", 0),
+                    "pool_misses": stats.pool.get("misses", 0),
+                }
+            )
+        soak_report.clear()
+        soak_report.update(
+            run_soak(
+                seconds=SOAK_SECONDS,
+                clients=3,
+                n=max(N // 2, 64),
+                machine=machine,
+            )
+        )
+        rows.append(
+            {
+                "phase": "soak",
+                "clients": soak_report["clients"],
+                "requests": soak_report["requests"],
+                "ok": soak_report["ok"],
+                "shed": soak_report["shed"],
+                "deadline_exceeded": soak_report["deadline_exceeded"],
+                "expected_deadlines": soak_report["expected_deadlines"],
+                "silent_wrong": soak_report["silent_wrong"],
+                "unstructured_failures": soak_report[
+                    "unstructured_failures"
+                ],
+                "unresolved": soak_report["unresolved"],
+                "deadlocked": soak_report["deadlocked"],
+                "wall_seconds": soak_report["wall_seconds"],
+            }
+        )
+        return rows
+
+    start = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+
+    sweep = [row for row in rows if row["phase"] == "sweep"]
+    soak = next(row for row in rows if row["phase"] == "soak")
+
+    # -- the serving contract, asserted at every scale ----------------------
+    for row in sweep:
+        # Every response either succeeded bit-identically or terminated
+        # with a structured shed/deadline error; nothing else is legal.
+        assert row["mismatches"] == 0, f"{row['clients']} clients: bit drift"
+        assert row["failed"] == 0, f"{row['clients']} clients: {row['errors']}"
+        assert row["unresolved"] == 0, (
+            f"{row['clients']} clients: stranded handles"
+        )
+        assert (
+            row["ok"] + row["shed"] + row["deadline_exceeded"]
+            == row["requests"]
+        )
+        assert row["ok"] > 0, f"{row['clients']} clients: nothing succeeded"
+        # Admitted-and-completed p99 sits under the configured deadline
+        # (anything slower would have been expired, not returned).
+        assert row["p99_seconds"] <= DEADLINE_SECONDS, (
+            f"{row['clients']} clients: p99 {row['p99_seconds']:.3f}s "
+            f"exceeds the {DEADLINE_SECONDS:.3f}s deadline"
+        )
+
+    # -- fault soak: the two unforgivable outcomes --------------------------
+    assert soak["silent_wrong"] == 0, "soak returned a silently wrong product"
+    assert soak["unstructured_failures"] == 0
+    assert not soak["deadlocked"], "soak stranded a request"
+    assert soak["ok"] > 0, "soak never completed a request"
+    # The hang variant exists to prove deadlines preempt stalls.
+    assert soak["expected_deadlines"] == soak["deadline_exceeded"], (
+        "a request without an injected hang lost its deadline race"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_json(
+        RESULTS_DIR,
+        "serve",
+        rows,
+        wall_seconds=wall,
+        scale="full" if N >= FULL_N else "quick",
+        extra={
+            "n": N,
+            "client_levels": list(CLIENT_LEVELS),
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "deadline_seconds": DEADLINE_SECONDS,
+            "soak_seconds": SOAK_SECONDS,
+            "soak_variants": soak_report.get("variants", {}),
+        },
+    )
+    for row in sweep:
+        print(
+            f"\nclients={row['clients']:<3d} ok={row['ok']:<4d} "
+            f"shed={row['shed']:<3d} "
+            f"p50={1e3 * row['p50_seconds']:7.1f}ms "
+            f"p99={1e3 * row['p99_seconds']:7.1f}ms "
+            f"{row['throughput_rps']:6.1f} req/s "
+            f"coalesced={row['coalesced']} pool_hits={row['pool_hits']}"
+        )
+    print(
+        f"\n   soak ok={soak['ok']}/{soak['requests']} "
+        f"expired={soak['deadline_exceeded']} "
+        f"silent_wrong={soak['silent_wrong']} "
+        f"deadlocked={soak['deadlocked']}"
+    )

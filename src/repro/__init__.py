@@ -36,6 +36,10 @@ The package is organised around the paper's structure:
     Convolution-to-GEMM lowering used by the DNN-motivated examples.
 ``repro.bench``
     The experiment registry and harness shared by ``benchmarks/``.
+``repro.serve``
+    GEMM-as-a-service: an admission-controlled, deadline-aware
+    multiply server with request coalescing, retry/backoff, and a
+    graceful degradation ladder over the engines above.
 
 Quickstart::
 
@@ -53,19 +57,24 @@ Quickstart::
 
 from repro._version import __version__
 from repro.errors import (
+    AdmissionError,
     CakeError,
     ConfigurationError,
+    DeadlineExceededError,
     ScheduleError,
     SimulationError,
 )
-from repro.api import cake_matmul, goto_matmul
+from repro.api import cake_matmul, goto_matmul, serve
 
 __all__ = [
     "__version__",
+    "AdmissionError",
     "CakeError",
     "ConfigurationError",
+    "DeadlineExceededError",
     "ScheduleError",
     "SimulationError",
     "cake_matmul",
     "goto_matmul",
+    "serve",
 ]

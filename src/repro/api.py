@@ -18,6 +18,43 @@ from repro.gemm.sharded import ShardConfig
 from repro.gemm.verify import VerifyConfig
 from repro.machines.presets import intel_i9_10900k
 from repro.machines.spec import MachineSpec
+from repro.runtime.executor import RetryPolicy
+from repro.serve.server import MultiplyServer
+
+
+def serve(
+    machine: MachineSpec | None = None,
+    *,
+    capacity: int = 64,
+    executors: int = 2,
+    max_batch: int = 8,
+    cores: int | None = None,
+    default_deadline: float | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> MultiplyServer:
+    """A **started** multiply server (GEMM-as-a-service front door).
+
+    Convenience constructor over
+    :class:`~repro.serve.server.MultiplyServer` — admission-controlled
+    bounded queue, per-request deadlines, shape-class batching with
+    shared plan/buffer reuse, content-seeded retry with backoff, and a
+    graceful degradation ladder, all over the same engines
+    :func:`cake_matmul` uses (responses are bit-identical to direct
+    calls). Use as a context manager or call ``stop()`` when done::
+
+        with serve(default_deadline=0.5) as server:
+            handle = server.submit(a, b)
+            run = handle.result()
+    """
+    return MultiplyServer(
+        machine,
+        capacity=capacity,
+        executors=executors,
+        max_batch=max_batch,
+        cores=cores,
+        default_deadline=default_deadline,
+        retry_policy=retry_policy,
+    ).start()
 
 
 def cake_matmul(

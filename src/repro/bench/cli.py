@@ -125,7 +125,42 @@ def main(argv: list[str] | None = None) -> int:
         "and the product stays bit-identical to the serial path; "
         "analytic-only experiments are unaffected",
     )
+    parser.add_argument(
+        "--clients",
+        default=None,
+        metavar="N[,N...]",
+        help="client-concurrency levels for the 'serve' experiment "
+        "(sets CAKE_SERVE_CLIENTS; e.g. 1,2,4); other experiments are "
+        "unaffected",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline in milliseconds for the 'serve' "
+        "experiment (sets CAKE_SERVE_DEADLINE_MS); requests admitted "
+        "but not answered within it terminate structured",
+    )
     args = parser.parse_args(argv)
+
+    if args.clients is not None:
+        import os
+
+        levels = [p for p in args.clients.split(",") if p.strip()]
+        if not levels or any(
+            not p.strip().isdigit() or int(p) < 1 for p in levels
+        ):
+            parser.error(
+                f"--clients: expected positive integers, got {args.clients!r}"
+            )
+        os.environ["CAKE_SERVE_CLIENTS"] = args.clients
+    if args.deadline is not None:
+        import os
+
+        if args.deadline <= 0:
+            parser.error("--deadline: must be a positive budget in ms")
+        os.environ["CAKE_SERVE_DEADLINE_MS"] = str(args.deadline)
 
     if args.backend is not None:
         from repro.gemm.backends import (

@@ -543,6 +543,93 @@ def sharded_execution(scale: str = "full", *, runtime=None) -> ExperimentReport:
     return rep
 
 
+def serve_load(scale: str = "full", *, runtime=None) -> ExperimentReport:
+    """GEMM-as-a-service under concurrent clients, audited bit-for-bit.
+
+    Not a paper figure — the serving-layer companion (ISSUE 8): for
+    each client-concurrency level, closed-loop clients stream Fig-8
+    skewed multiplies through one admission-controlled
+    :class:`~repro.serve.server.MultiplyServer`, and every successful
+    response is checked bit-identical to a direct engine call. Sheds
+    and deadline expiries are reported as their own columns — they are
+    the server doing its job — while a bit-mismatch, an unstructured
+    error, or a stranded handle fails the experiment.
+
+    Environment knobs (also settable via ``cake-bench serve --clients /
+    --deadline``): ``CAKE_SERVE_CLIENTS`` (comma-separated levels),
+    ``CAKE_SERVE_DEADLINE_MS`` (per-request budget; default none).
+    """
+    import os as _os
+
+    from repro.serve.loadgen import OperandSet, run_load
+    from repro.serve.server import MultiplyServer
+
+    levels_env = _os.environ.get("CAKE_SERVE_CLIENTS", "1,2,4")
+    levels = [int(p) for p in levels_env.split(",") if p.strip()]
+    deadline_env = _os.environ.get("CAKE_SERVE_DEADLINE_MS")
+    deadline = float(deadline_env) / 1000.0 if deadline_env else None
+    n = 256 if scale == "full" else 128
+    requests_per_client = 6 if scale == "full" else 3
+
+    machine = intel_i9_10900k()
+    deadline_label = (
+        "no deadline" if deadline is None else f"{deadline:.3f}s deadline"
+    )
+    rep = ExperimentReport(
+        "serve",
+        f"GEMM-as-a-service load sweep (Fig-8 skewed N={n}, "
+        f"{deadline_label}, Intel i9)",
+    )
+    operands = OperandSet.figure8_skewed(n, machine=machine)
+    rows = []
+    for clients in levels:
+        with MultiplyServer(
+            machine, executors=2, default_deadline=deadline
+        ) as server:
+            load = run_load(
+                server,
+                operands,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                deadline=deadline,
+            )
+            stats = server.stats()
+        if load.mismatches or load.failed or load.unresolved:
+            raise AssertionError(
+                f"serving contract violated at {clients} clients: "
+                f"{load.mismatches} bit-mismatches, {load.failed} "
+                f"unstructured failures, {load.unresolved} stranded "
+                f"handles ({load.errors})"
+            )
+        rows.append(
+            [
+                clients,
+                load.ok,
+                load.shed,
+                load.deadline_exceeded,
+                f"{1e3 * load.percentile(50):.1f} ms",
+                f"{1e3 * load.percentile(99):.1f} ms",
+                f"{load.throughput_rps:.1f}/s",
+                stats.coalesced,
+                stats.retries,
+            ]
+        )
+        rep.data.setdefault("levels", {})[clients] = {
+            **load.as_dict(),
+            "server": stats.as_dict(),
+        }
+    rep.add_table(
+        ["clients", "ok", "shed", "expired", "p50", "p99",
+         "throughput", "coalesced", "retries"],
+        rows,
+    )
+    rep.add_line(
+        "every successful response bit-identical to a direct engine "
+        "call; sheds and expiries are structured, never silent"
+    )
+    return rep
+
+
 EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "table2": table2_machines,
     "fig4": fig4_cb_scaling,
@@ -557,6 +644,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "verify": verify_overhead,
     "backends": backends_matrix,
     "sharded": sharded_execution,
+    "serve": serve_load,
 }
 
 

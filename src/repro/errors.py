@@ -42,21 +42,121 @@ class BackendCapabilityError(CakeError, TypeError):
         dtype support; ``None`` otherwise (e.g. an unavailable backend).
     """
 
-    def __init__(self, backend: str, message: str, *, dtype=None):
+    def __init__(self, backend: str, message: str, dtype=None):
         self.backend = backend
         self.dtype = dtype
         self._message = message
         super().__init__(f"backend {backend!r}: {message}")
 
     def __reduce__(self):
-        # The two-positional + keyword signature defeats the default
-        # exception reduce; shard workers may raise this across a
-        # process boundary, so rebuild explicitly.
-        return (
-            BackendCapabilityError,
-            (self.backend, self._message),
-            {"dtype": self.dtype},
+        # The multi-argument signature defeats the default exception
+        # reduce (which replays only the formatted message); shard and
+        # serve workers raise this across process/thread boundaries, so
+        # rebuild positionally — ``dtype`` included — and through
+        # ``type(self)`` so subclasses round-trip as themselves.
+        return (type(self), (self.backend, self._message, self.dtype))
+
+
+class AdmissionError(CakeError):
+    """The serve front door refused a request before queueing it.
+
+    Load shedding is a *feature*: a bounded queue that rejects work it
+    cannot finish in time beats an unbounded one that accepts
+    everything and strands most of it. The structured payload tells the
+    client whether to retry (``reason="capacity"`` plus a
+    ``retry_after`` hint) or to give up (``reason="deadline"`` — the
+    budget was already spent at submit time; ``reason="shutdown"`` —
+    the server is stopping).
+
+    Attributes
+    ----------
+    reason:
+        ``"capacity"``, ``"deadline"`` or ``"shutdown"``.
+    queue_depth:
+        Requests queued at the moment of rejection.
+    capacity:
+        The bounded queue's limit.
+    retry_after:
+        Suggested client backoff in seconds (an estimate from recent
+        service latency and the current backlog), or ``None`` when
+        retrying cannot help.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        message: str,
+        queue_depth: int = 0,
+        capacity: int = 0,
+        retry_after: "float | None" = None,
+    ):
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+        self.retry_after = retry_after
+        self._message = message
+        hint = (
+            f"; retry after {retry_after:.3f}s" if retry_after is not None
+            else ""
         )
+        super().__init__(
+            f"admission refused ({reason}): {message} "
+            f"[queue {queue_depth}/{capacity}{hint}]"
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.reason,
+                self._message,
+                self.queue_depth,
+                self.capacity,
+                self.retry_after,
+            ),
+        )
+
+
+class DeadlineExceededError(CakeError):
+    """A request's deadline expired before a result could be returned.
+
+    The serving contract is *no stale results*: once the budget is
+    spent the request terminates with this error whether it was still
+    queued, mid-execution, or waiting on a hung shard worker — a late
+    product computed after expiry is discarded, never returned.
+
+    Attributes
+    ----------
+    stage:
+        Where the budget ran out: ``"queue"`` (expired before
+        execution started), ``"execute"`` (expired while an engine ran
+        it), ``"shard"`` (the sharded executor's deadline fired and the
+        pool was killed), or ``"result-wait"`` (the waiter's clock
+        expired before the dispatcher resolved the handle).
+    budget:
+        The request's deadline budget in seconds, when known.
+    elapsed:
+        Seconds between submit and expiry, when known.
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        budget: "float | None" = None,
+        elapsed: "float | None" = None,
+    ):
+        self.stage = stage
+        self.budget = budget
+        self.elapsed = elapsed
+        detail = ""
+        if budget is not None:
+            detail += f" budget={budget:.3f}s"
+        if elapsed is not None:
+            detail += f" elapsed={elapsed:.3f}s"
+        super().__init__(f"deadline exceeded during {stage}{detail}")
+
+    def __reduce__(self):
+        return (type(self), (self.stage, self.budget, self.elapsed))
 
 
 class ScheduleError(CakeError):

@@ -135,6 +135,13 @@ class CakeGemm:
         every (processes x workers x backend) combination. Incompatible
         with ``exact_pack`` (workers rebuild the vectorized pack's
         buffer grid) and with unregistered backend instances.
+    pool:
+        A :class:`~repro.packing.pool.BufferPool` to lease packed
+        operand buffers from, or ``None`` for a private per-engine pool.
+        Passing a shared pool (the serve layer does, per shape class)
+        makes packed-buffer reuse span engines; the pool is
+        thread-safe, so concurrent ``multiply`` calls through one pool
+        are fine.
     """
 
     def __init__(
@@ -150,6 +157,7 @@ class CakeGemm:
         verify: bool | VerifyConfig = False,
         backend: "str | Backend | None" = None,
         processes: "int | ShardConfig | None" = None,
+        pool: "BufferPool | None" = None,
     ) -> None:
         self.machine = machine
         self.cores = cores
@@ -167,7 +175,10 @@ class CakeGemm:
                 "workers rebuild the vectorized pack's buffer grid over "
                 "shared memory, which the loop oracle does not produce"
             )
-        self._pool = BufferPool()
+        # An injected pool lets callers (the serve batcher) share packed
+        # operand buffers across engines serving one shape class; the
+        # default keeps each engine's reuse private, as before.
+        self._pool = BufferPool() if pool is None else pool
 
     # -- public API ----------------------------------------------------------
 

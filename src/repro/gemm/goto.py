@@ -81,6 +81,7 @@ class GotoGemm:
         verify: bool | VerifyConfig = False,
         backend: "str | Backend | None" = None,
         processes: "int | ShardConfig | None" = None,
+        pool: "BufferPool | None" = None,
     ) -> None:
         self.machine = machine
         self.cores = cores
@@ -97,7 +98,10 @@ class GotoGemm:
                 "workers rebuild the vectorized pack's buffer grid over "
                 "shared memory, which the loop oracle does not produce"
             )
-        self._pool = BufferPool()
+        # Same sharing hook as CakeGemm: a caller-supplied pool spans
+        # engines (the serve batcher's per-class reuse); None stays
+        # private.
+        self._pool = BufferPool() if pool is None else pool
 
     # -- public API ----------------------------------------------------------
 

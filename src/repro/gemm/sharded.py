@@ -69,6 +69,7 @@ import math
 import multiprocessing as mp
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from concurrent.futures import as_completed
 from dataclasses import dataclass, field
@@ -77,7 +78,7 @@ from typing import Callable, NamedTuple, Sequence
 
 import numpy as np
 
-from repro.errors import CakeError, ConfigurationError
+from repro.errors import CakeError, ConfigurationError, DeadlineExceededError
 from repro.core.cb_block import CBBlock
 from repro.gemm.backends.registry import backend_spec, registered_backends
 from repro.gemm.microkernel import MicroKernel
@@ -141,12 +142,21 @@ class ShardConfig:
         ``multiprocessing`` start method; ``None`` picks ``fork`` where
         available (cheap, inherits the imported interpreter) and
         ``spawn`` otherwise.
+    deadline:
+        Absolute ``time.monotonic()`` instant by which the run must
+        finish, or ``None`` for no bound. When the instant passes while
+        shards are still outstanding the pool is killed — hung workers
+        included — and :class:`~repro.errors.DeadlineExceededError`
+        (stage ``"shard"``) is raised; a stale or partial C is never
+        returned. This is how the serve layer's per-request deadlines
+        reach the process-sharded path.
     """
 
     processes: int = 1
     max_pool_rebuilds: int = 2
     inline_fallback: bool = True
     start_method: str | None = None
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         require_positive("processes", self.processes)
@@ -921,6 +931,15 @@ def run_sharded(
     start_method = config.start_method or _default_start_method()
     ctx = mp.get_context(start_method)
 
+    def _remaining() -> float | None:
+        """Seconds left on the config deadline; raises once it passes."""
+        if config.deadline is None:
+            return None
+        remaining = config.deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceededError("shard")
+        return remaining
+
     pending = dict(tasks)
     results: dict[int, dict] = {}
     rebuilds = 0
@@ -929,6 +948,7 @@ def run_sharded(
     barrier_start = time.perf_counter()
     try:
         while pending:
+            _remaining()
             if rebuilds > config.max_pool_rebuilds:
                 if not config.inline_fallback:
                     raise ShardExecutionError(
@@ -943,6 +963,7 @@ def run_sharded(
                 # persistently-killing plan still converges to the
                 # correct C (or raises through the verify ladder).
                 for index in sorted(pending):
+                    _remaining()
                     task = pending.pop(index)
                     _zero_panel(c, task.span)
                     results[index] = _execute_shard(task)
@@ -960,14 +981,21 @@ def run_sharded(
                 for index, task in sorted(pending.items())
             }
             broken = False
-            for future in as_completed(futures):
-                index = futures[future]
-                try:
-                    results[index] = future.result()
-                except BrokenProcessPool:
-                    broken = True
-                    break
-                pending.pop(index)
+            try:
+                # The timeout bounds the whole barrier wait: a worker
+                # that hangs (not just crashes) past the deadline is
+                # killed via the finally-clause teardown rather than
+                # stranding this call forever.
+                for future in as_completed(futures, timeout=_remaining()):
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        break
+                    pending.pop(index)
+            except FuturesTimeoutError:
+                raise DeadlineExceededError("shard") from None
             if broken:
                 _kill_pool(pool_exec)
                 pool_exec = None

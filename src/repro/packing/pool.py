@@ -114,6 +114,39 @@ class BufferPool:
         with self._lock:
             return self._retained_bytes
 
+    @property
+    def lease_count(self) -> int:
+        """Total leases served (hits + misses; zero-element leases excluded)."""
+        with self._lock:
+            return self.hits + self.misses
+
+    @property
+    def hit_count(self) -> int:
+        """Leases satisfied from a retained buffer."""
+        with self._lock:
+            return self.hits
+
+    @property
+    def miss_count(self) -> int:
+        """Leases that had to allocate fresh storage."""
+        with self._lock:
+            return self.misses
+
+    def stats(self) -> dict:
+        """One consistent snapshot of the pool's counters.
+
+        Reading the properties one by one can interleave with concurrent
+        leases; the serve layer's :class:`~repro.serve.ServerStats`
+        embeds this dict so its pool numbers are mutually consistent.
+        """
+        with self._lock:
+            return {
+                "leases": self.hits + self.misses,
+                "hits": self.hits,
+                "misses": self.misses,
+                "retained_bytes": self._retained_bytes,
+            }
+
     def clear(self) -> None:
         """Drop every retained buffer."""
         with self._lock:

@@ -30,6 +30,7 @@ Guarantees the tests pin:
 """
 
 from repro.runtime.cache import CACHE_SCHEMA, CacheStats, ResultCache
+from repro.runtime.deadline import Deadline
 from repro.runtime.executor import ExperimentRuntime, RetryPolicy, RuntimeStats
 from repro.runtime.faults import (
     FAULT_PLAN_ENV,
@@ -66,6 +67,7 @@ __all__ = [
     "CACHE_SCHEMA",
     "CacheStats",
     "ResultCache",
+    "Deadline",
     "ExperimentRuntime",
     "RetryPolicy",
     "RuntimeStats",

@@ -211,7 +211,7 @@ class FaultInjector:
 
 # -- numeric faults (strip-output corruption) ---------------------------------
 
-_NUMERIC_KINDS = ("bitflip", "scale", "zero", "kill")
+_NUMERIC_KINDS = ("bitflip", "scale", "zero", "kill", "hang")
 
 #: Default bit to flip per element width: the most-significant exponent
 #: bit, so a flipped value lands far outside any plausible tolerance band
@@ -245,6 +245,12 @@ class NumericFaultRule:
       initializer); in inline execution it is inert — it neither kills
       nor consumes its budget, so an inline-fallback re-run of a killed
       shard computes cleanly.
+    * ``hang`` — sleep ``hang_seconds`` mid-group without corrupting
+      anything, the stall a per-request deadline must preempt (the
+      sharded executor's deadline kills the hung pool; the serve layer
+      resolves the waiting client with ``DeadlineExceededError``).
+      Worker-only and inert inline, exactly like ``kill``, so an
+      injection plan can never stall the orchestrating process itself.
     """
 
     block: int | str = "*"
@@ -255,6 +261,7 @@ class NumericFaultRule:
     row: int = 0
     col: int = 0
     bit: int | None = None
+    hang_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.kind not in _NUMERIC_KINDS:
@@ -363,7 +370,7 @@ class NumericFaultInjector:
         for index, rule in enumerate(self.plan.rules):
             if not rule.matches(block, strip):
                 continue
-            if rule.kind == "kill" and not in_worker_process():
+            if rule.kind in ("kill", "hang") and not in_worker_process():
                 continue
             key = (index, block, strip)
             with self._lock:
@@ -380,6 +387,9 @@ class NumericFaultInjector:
     def _apply(rule: NumericFaultRule, panel: np.ndarray) -> None:
         if rule.kind == "kill":
             os._exit(3)
+        if rule.kind == "hang":
+            time.sleep(rule.hang_seconds)
+            return
         if rule.kind == "zero":
             panel[...] = 0
             return

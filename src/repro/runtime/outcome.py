@@ -39,6 +39,11 @@ class TaskExecutionError(CakeError):
             f"attempt(s): {outcome.error_type}: {outcome.error_message}"
         )
 
+    def __reduce__(self):
+        # Multi-argument __init__: the default exception reduce replays
+        # only the formatted message and cannot rebuild the outcome.
+        return (type(self), (self.outcome, self.failures))
+
 
 class IncompleteRunError(CakeError):
     """A ``collect``-mode run finished with failed cells.
@@ -62,6 +67,9 @@ class IncompleteRunError(CakeError):
             f"{len(report.failures)} of {report.stats.tasks} task(s) "
             f"failed{where}: {failed}"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.report, self.experiment))
 
 
 @dataclass(frozen=True, slots=True)

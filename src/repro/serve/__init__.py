@@ -1,0 +1,62 @@
+"""GEMM-as-a-service: the admission-controlled multiply front door.
+
+ROADMAP item 1's serving layer. Clients submit multiply requests to a
+:class:`~repro.serve.server.MultiplyServer` and get future-like
+handles back; a dispatcher classifies requests by shape class
+(:mod:`repro.serve.classifier`), coalesces compatible small problems
+into shared plan + :class:`~repro.packing.pool.BufferPool` reuse
+(:mod:`repro.serve.batching`), and executes them on the existing
+engines. Robustness is the design center — bounded admission
+(:mod:`repro.serve.admission`), per-request deadlines that propagate
+into the shard executor, content-seeded retry with backoff, and a
+graceful degradation ladder — with the repo-wide bit-identity
+contract intact: a served product is bit-identical to a direct
+engine call, or the request terminates with a structured error.
+
+Quick start::
+
+    from repro.serve import MultiplyServer
+
+    with MultiplyServer() as server:
+        handle = server.submit(a, b, deadline=0.5)
+        run = handle.result()          # GemmRun, or structured error
+        print(server.stats().as_dict())
+"""
+
+from repro.errors import AdmissionError, DeadlineExceededError
+from repro.runtime.executor import RetryPolicy
+from repro.serve.admission import admission_decision, retry_after_hint
+from repro.serve.batching import EngineCache, Rung, degradation_rungs
+from repro.serve.classifier import ShapeClass, classify
+from repro.serve.loadgen import LoadReport, OperandSet, run_load
+from repro.serve.request import (
+    MultiplyRequest,
+    ResponseHandle,
+    ServeReport,
+    content_seed,
+)
+from repro.serve.server import MultiplyServer, ServerStats
+from repro.serve.soak import run_soak
+
+__all__ = [
+    "AdmissionError",
+    "DeadlineExceededError",
+    "RetryPolicy",
+    "admission_decision",
+    "retry_after_hint",
+    "EngineCache",
+    "Rung",
+    "degradation_rungs",
+    "ShapeClass",
+    "classify",
+    "LoadReport",
+    "OperandSet",
+    "run_load",
+    "MultiplyRequest",
+    "ResponseHandle",
+    "ServeReport",
+    "content_seed",
+    "MultiplyServer",
+    "ServerStats",
+    "run_soak",
+]

@@ -1,0 +1,93 @@
+"""Admission control: the bounded front door.
+
+A server without admission control does not have a queue, it has a
+memory leak with latency attached. The policy here is deliberately
+simple and *total* — every submit is answered immediately, either with
+a queued handle or a structured :class:`~repro.errors.AdmissionError`
+that tells the client what to do next:
+
+* ``reason="deadline"`` — the budget was non-positive at submit time.
+  Executing it could only ever produce a stale result, so it is shed
+  *before* queueing; retrying with the same budget cannot help
+  (``retry_after=None``).
+* ``reason="capacity"`` — the bounded queue is full. ``retry_after``
+  estimates when a slot should free up from the recent per-request
+  service latency and the current backlog.
+* ``reason="shutdown"`` — the server is stopping; no retry hint.
+
+The decision is a pure function of its numeric inputs
+(:func:`admission_decision`), which is what the hypothesis suite
+drives: *no* combination of queue depth, capacity, latency estimate
+and clock may admit a request whose deadline has already passed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AdmissionError
+
+#: Fallback per-request service estimate before any latency history
+#: exists (seconds). Only feeds the retry-after hint, never admission.
+DEFAULT_SERVICE_ESTIMATE = 0.05
+
+
+def retry_after_hint(
+    queue_depth: int,
+    executors: int,
+    service_estimate: "float | None",
+) -> float:
+    """Estimated seconds until a queue slot frees up.
+
+    Backlog divided by drain rate: ``depth / executors`` requests must
+    complete ahead of a retry, each taking roughly the recent p50
+    service latency.
+    """
+    estimate = (
+        DEFAULT_SERVICE_ESTIMATE
+        if service_estimate is None or service_estimate <= 0
+        else service_estimate
+    )
+    waves = max(1.0, queue_depth / max(1, executors))
+    return waves * estimate
+
+
+def admission_decision(
+    *,
+    queue_depth: int,
+    capacity: int,
+    deadline_budget: "float | None",
+    executors: int = 1,
+    service_estimate: "float | None" = None,
+    stopping: bool = False,
+) -> AdmissionError | None:
+    """Admit (``None``) or refuse (the error to raise) one request.
+
+    Checks run in severity order — shutdown, then spent deadline, then
+    capacity — so a non-positive budget is *always* shed as
+    ``reason="deadline"`` regardless of queue state (the property the
+    hypothesis suite pins: shed at the door, never executed).
+    """
+    if stopping:
+        return AdmissionError(
+            "shutdown",
+            "server is stopping",
+            queue_depth,
+            capacity,
+            None,
+        )
+    if deadline_budget is not None and deadline_budget <= 0:
+        return AdmissionError(
+            "deadline",
+            f"deadline budget {deadline_budget:.6g}s is already spent",
+            queue_depth,
+            capacity,
+            None,
+        )
+    if queue_depth >= capacity:
+        return AdmissionError(
+            "capacity",
+            "queue is full",
+            queue_depth,
+            capacity,
+            retry_after_hint(queue_depth, executors, service_estimate),
+        )
+    return None

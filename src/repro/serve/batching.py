@@ -1,0 +1,161 @@
+"""Engine reuse, request coalescing, and the degradation ladder.
+
+Three mechanisms live here, all in service of the dispatcher:
+
+**Engine cache.** Plain requests (no verification, no sharding) of the
+same shape class and execution profile reuse one engine object. The
+engine's plan is memoized process-wide anyway (``lru_cache`` in
+:mod:`repro.gemm.plan`), but reusing the *object* also reuses its
+reference to the server's shared :class:`~repro.packing.pool.BufferPool`
+— the second request of a class packs into buffers the first one
+released. Verified and sharded requests get fresh engines (their
+configs carry per-request state: injection plans, shard deadlines);
+construction is cheap because the plan cache absorbs the expensive
+part.
+
+**Coalescing.** The dispatcher drains up to ``max_batch`` same-class,
+same-profile small requests from the queue in one scoop and runs them
+back-to-back on one executor thread through one engine: one plan
+lookup, pool-warm packs, no cross-thread handoff between them.
+
+**Degradation ladder.** When retries on the requested configuration
+keep failing, the server steps the request down a fixed ladder rather
+than failing it outright: drop process sharding (sharded → threaded),
+drop threading (threaded → serial), and finally drop a fast backend to
+the trusted numpy oracle. Each rung is a strictly simpler execution
+with strictly fewer failure modes; the last rung — serial oracle — is
+the code path every other one is bit-identical to, so degradation
+never changes the answer, only the speed. A
+:class:`~repro.errors.BackendCapabilityError` jumps straight to the
+oracle rung (capability gaps do not heal with retries).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+from repro.gemm.cake import CakeGemm
+from repro.gemm.goto import GotoGemm
+from repro.gemm.sharded import ShardConfig, resolve_shards
+from repro.machines.spec import MachineSpec
+from repro.packing.pool import BufferPool
+from repro.serve.classifier import ShapeClass
+from repro.serve.request import MultiplyRequest
+
+
+@dataclass(frozen=True, slots=True)
+class Rung:
+    """One step of the degradation ladder (an execution profile)."""
+
+    processes: "int | ShardConfig | None"
+    workers: int | None
+    backend: str | None
+
+    def describe(self) -> str:
+        shards = resolve_shards(self.processes)
+        processes = 1 if shards is None else shards.processes
+        workers = self.workers if self.workers else 1
+        backend = self.backend or "default"
+        return f"processes={processes} workers={workers} backend={backend}"
+
+
+def degradation_rungs(request: MultiplyRequest) -> list[Rung]:
+    """The ladder for one request, strongest configuration first.
+
+    Always ends at the serial numpy oracle, deduplicated so a request
+    already asking for the bottom rung gets a one-rung ladder.
+    """
+    rungs = [Rung(request.processes, request.workers, request.backend)]
+
+    def push(rung: Rung) -> None:
+        if rung != rungs[-1]:
+            rungs.append(rung)
+
+    # Degraded rungs pin processes to an explicit 1 (not None): None
+    # re-resolves to the process-wide default, which may itself be
+    # sharded when `cake-bench --processes` set it.
+    if resolve_shards(request.processes) is not None:
+        push(Rung(1, request.workers, request.backend))
+    if request.workers is not None and request.workers > 1:
+        push(Rung(1, None, request.backend))
+    if request.backend not in (None, "numpy"):
+        push(Rung(1, None, "numpy"))
+    return rungs
+
+
+def oracle_rung() -> Rung:
+    """The ladder's terminal rung: serial, in-process, numpy oracle."""
+    return Rung(1, None, "numpy")
+
+
+class EngineCache:
+    """Builds engines for (request, rung) pairs, reusing plain ones.
+
+    All engines — cached or fresh — share the server's
+    :class:`~repro.packing.pool.BufferPool`, which is what turns a
+    repeated shape class into allocation-free packing. Thread-safe:
+    engines themselves are safe for concurrent ``multiply`` (their
+    pools lock), and the cache dict is guarded.
+    """
+
+    def __init__(self, machine: MachineSpec, pool: BufferPool) -> None:
+        self.machine = machine
+        self.pool = pool
+        self._lock = threading.Lock()
+        self._plain: dict[tuple, object] = {}
+
+    def engine_for(
+        self,
+        request: MultiplyRequest,
+        shape_class: ShapeClass,
+        rung: Rung,
+        deadline_at: float | None = None,
+    ):
+        """An engine executing ``rung`` for this request.
+
+        Sharded rungs get a fresh engine whose
+        :class:`~repro.gemm.sharded.ShardConfig` carries the request's
+        absolute deadline, so a hung shard worker is killed by the
+        shard executor itself rather than stranding a dispatcher
+        thread.
+        """
+        shards = resolve_shards(rung.processes)
+        if shards is not None:
+            processes: "int | ShardConfig" = replace(
+                shards, deadline=deadline_at
+            )
+        else:
+            # Explicit 1, not None: None would re-resolve through the
+            # process-wide default inside the engine constructor.
+            processes = 1
+        plain = request.verify in (False, None) and shards is None
+        key = (
+            shape_class.engine,
+            shape_class.cores,
+            rung.workers,
+            rung.backend,
+        )
+        if plain:
+            with self._lock:
+                engine = self._plain.get(key)
+                if engine is not None:
+                    return engine
+        engine = self._build(shape_class, rung, processes, request.verify)
+        if plain:
+            with self._lock:
+                engine = self._plain.setdefault(key, engine)
+        return engine
+
+    def _build(self, shape_class, rung, processes, verify):
+        kwargs = dict(
+            cores=shape_class.cores,
+            workers=rung.workers,
+            verify=verify,
+            backend=rung.backend,
+            processes=processes,
+            pool=self.pool,
+        )
+        if shape_class.engine == "goto":
+            return GotoGemm(self.machine, **kwargs)
+        return CakeGemm(self.machine, **kwargs)

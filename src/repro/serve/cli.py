@@ -1,0 +1,134 @@
+"""``cake-serve``: drive the multiply server from the command line.
+
+Two modes:
+
+* default — start a server, run the closed-loop load generator over
+  the Fig-8 skewed operand set for one or more client-concurrency
+  levels, print a per-level summary, and exit nonzero if any response
+  violated the serving contract (a bit-different product or an
+  unstructured error);
+* ``--soak SECONDS`` — run the fault-injected soak instead
+  (:mod:`repro.serve.soak`) with kill/hang/bitflip rules firing while
+  traffic flows.
+
+Examples::
+
+    cake-serve --clients 1,2,4 --requests 8 --deadline-ms 30000
+    cake-serve --soak 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.machines.presets import intel_i9_10900k
+from repro.serve.loadgen import OperandSet, run_load
+from repro.serve.server import MultiplyServer
+from repro.serve.soak import main as soak_main
+
+
+def _parse_levels(text: str) -> list[int]:
+    levels = [int(part) for part in text.split(",") if part.strip()]
+    if not levels or any(level < 1 for level in levels):
+        raise argparse.ArgumentTypeError(
+            f"client levels must be positive integers, got {text!r}"
+        )
+    return levels
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cake-serve",
+        description="Load-generate against the admission-controlled "
+        "multiply server and audit every response.",
+    )
+    parser.add_argument(
+        "--clients",
+        type=_parse_levels,
+        default=[1, 2, 4],
+        help="comma-separated concurrency levels (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=6, help="requests per client"
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in milliseconds (default: none)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=256, help="Fig-8 shape scale (N)"
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=64, help="admission queue bound"
+    )
+    parser.add_argument(
+        "--executors", type=int, default=2, help="concurrent engine passes"
+    )
+    parser.add_argument(
+        "--soak",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the fault-injected soak for SECONDS instead",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write per-level rows here"
+    )
+    args = parser.parse_args(argv)
+
+    if args.soak is not None:
+        return soak_main(["--seconds", str(args.soak)])
+
+    deadline = (
+        None if args.deadline_ms is None else args.deadline_ms / 1000.0
+    )
+    machine = intel_i9_10900k()
+    operands = OperandSet.figure8_skewed(args.n, machine=machine)
+    rows = []
+    violations = 0
+    for clients in args.clients:
+        with MultiplyServer(
+            machine,
+            capacity=args.capacity,
+            executors=args.executors,
+            default_deadline=deadline,
+        ) as server:
+            report = run_load(
+                server,
+                operands,
+                clients=clients,
+                requests_per_client=args.requests,
+                deadline=deadline,
+            )
+            stats = server.stats()
+        row = {**report.as_dict(), "server": stats.as_dict()}
+        rows.append(row)
+        violations += report.mismatches + report.failed + report.unresolved
+        print(
+            f"clients={clients:<3d} ok={report.ok:<4d} "
+            f"shed={report.shed:<3d} expired={report.deadline_exceeded:<3d} "
+            f"p50={1e3 * report.percentile(50):7.1f}ms "
+            f"p99={1e3 * report.percentile(99):7.1f}ms "
+            f"{report.throughput_rps:6.1f} req/s "
+            f"batches={stats.batches} coalesced={stats.coalesced} "
+            f"retries={stats.retries} degradations={stats.degradations}"
+        )
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(rows, indent=2, default=str))
+    if violations:
+        print(
+            f"SERVE CONTRACT VIOLATED: {violations} bad responses",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,204 @@
+"""Concurrent-client load generation against a MultiplyServer.
+
+One reusable harness drives three consumers — ``benchmarks/
+bench_serve.py``, the ``cake-bench serve`` experiment, and the
+``cake-serve`` CLI: N client threads each submit R requests drawn from
+a fixed operand set, wait for their responses, and verify **every**
+successful product bit-identical to a reference computed once by a
+direct :func:`~repro.api.cake_matmul`-style engine call. Structured
+errors (:class:`~repro.errors.AdmissionError`,
+:class:`~repro.errors.DeadlineExceededError`) are counted, never
+hidden; anything unstructured or bit-different is a hard failure of
+the serving contract.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AdmissionError, DeadlineExceededError
+from repro.serve.server import MultiplyServer
+
+
+@dataclass(slots=True)
+class OperandSet:
+    """A fixed pool of operand pairs plus their reference products."""
+
+    pairs: list[tuple[np.ndarray, np.ndarray]]
+    references: list[np.ndarray]
+
+    @classmethod
+    def figure8_skewed(
+        cls,
+        n: int = 256,
+        *,
+        variants: int = 3,
+        dtype=np.float32,
+        seed: int = 20218,
+        machine=None,
+        cores: int | None = None,
+    ) -> "OperandSet":
+        """Operands in the paper's Fig-8 skewed regime (short M, deep K).
+
+        ``variants`` distinct pairs share one shape, so served traffic
+        exercises shape-class reuse (one plan, pool-warm packs) while
+        still proving responses are not cross-wired between requests.
+        References come from a direct engine call — the bit-identity
+        oracle every response is checked against.
+        """
+        from repro.api import cake_matmul
+
+        rng = np.random.default_rng(seed)
+        m, p, k = max(n // 4, 1), n, 2 * n
+        pairs = [
+            (
+                rng.standard_normal((m, k)).astype(dtype),
+                rng.standard_normal((k, p)).astype(dtype),
+            )
+            for _ in range(variants)
+        ]
+        references = [
+            cake_matmul(a, b, machine=machine, cores=cores).c
+            for a, b in pairs
+        ]
+        return cls(pairs=pairs, references=references)
+
+
+@dataclass(slots=True)
+class LoadReport:
+    """What one load run produced, per outcome class."""
+
+    clients: int
+    requests: int
+    ok: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    failed: int = 0
+    mismatches: int = 0
+    unresolved: int = 0
+    latencies: list[float] = field(default_factory=list)
+    errors: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Successful responses per second of wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.ok / self.wall_seconds
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the successful-response latencies."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(
+            len(ordered), max(1, math.ceil(q / 100.0 * len(ordered)))
+        )
+        return ordered[rank - 1]
+
+    def as_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "failed": self.failed,
+            "mismatches": self.mismatches,
+            "unresolved": self.unresolved,
+            "errors": dict(self.errors),
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.throughput_rps,
+            "p50_seconds": self.percentile(50.0),
+            "p99_seconds": self.percentile(99.0),
+        }
+
+
+def run_load(
+    server: MultiplyServer,
+    operands: OperandSet,
+    *,
+    clients: int,
+    requests_per_client: int,
+    deadline: float | None = None,
+    engine: str = "cake",
+    result_timeout: float = 120.0,
+) -> LoadReport:
+    """Drive ``clients`` threads of traffic and audit every response.
+
+    Each client cycles through the operand set, submits, then blocks
+    on the handle — a closed-loop client, so concurrency equals the
+    thread count. Shed and expired requests count in their own
+    buckets; any other exception, any bit-different product, and any
+    handle still unresolved after ``result_timeout`` is a contract
+    violation recorded in ``failed``/``mismatches``/``unresolved``.
+    """
+    report = LoadReport(
+        clients=clients, requests=clients * requests_per_client
+    )
+    lock = threading.Lock()
+
+    def record(name: str) -> None:
+        with lock:
+            report.errors[name] = report.errors.get(name, 0) + 1
+
+    def client(worker: int) -> None:
+        for i in range(requests_per_client):
+            index = (worker + i * clients) % len(operands.pairs)
+            a, b = operands.pairs[index]
+            started = time.monotonic()
+            try:
+                handle = server.submit(
+                    a, b, engine=engine, deadline=deadline
+                )
+            except AdmissionError as err:
+                with lock:
+                    report.shed += 1
+                record(f"submit:{err.reason}")
+                continue
+            try:
+                run = handle.result(timeout=result_timeout)
+            except DeadlineExceededError:
+                with lock:
+                    report.deadline_exceeded += 1
+                record("DeadlineExceededError")
+                continue
+            except TimeoutError:
+                with lock:
+                    report.unresolved += 1
+                record("unresolved-handle")
+                continue
+            except Exception as err:  # noqa: BLE001 - audit every outcome
+                with lock:
+                    report.failed += 1
+                record(type(err).__name__)
+                continue
+            latency = time.monotonic() - started
+            if np.array_equal(run.c, operands.references[index]):
+                with lock:
+                    report.ok += 1
+                    report.latencies.append(latency)
+            else:
+                with lock:
+                    report.mismatches += 1
+                record("bit-mismatch")
+
+    threads = [
+        threading.Thread(
+            target=client, args=(worker,), name=f"loadgen-{worker}"
+        )
+        for worker in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    return report

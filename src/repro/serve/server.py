@@ -1,0 +1,637 @@
+"""The multiply server: admission, dispatch, execution, degradation.
+
+``MultiplyServer`` is a thread-based (stdlib-only) front door over the
+existing GEMM engines. The lifecycle of one request::
+
+    submit ──admit──▶ queue ──classify/coalesce──▶ execute ──▶ resolve
+       │                 │                            │
+       └─ AdmissionError └─ DeadlineExceededError     ├─ retry (backoff)
+          (shed)            (expired while queued)    ├─ degrade (ladder)
+                                                      └─ structured error
+
+Robustness invariants, each pinned by the serve test suite:
+
+* **Bounded everything.** The queue is capacity-bounded (admission
+  sheds beyond it), in-flight execution is bounded by the executor
+  thread count, and every wait in the system carries a timeout derived
+  from a deadline. There is no unbounded buffer anywhere.
+* **No stale results.** Handles resolve first-wins; expiry resolves
+  them with :class:`~repro.errors.DeadlineExceededError` whether the
+  request was queued, executing, or hung in a shard worker (the
+  per-request :class:`~repro.gemm.sharded.ShardConfig` deadline kills
+  the pool). A product computed after expiry is discarded.
+* **Deterministic retries.** Transient failures back off through
+  :class:`~repro.runtime.executor.RetryPolicy` seeded from request
+  *content*, so a replayed request replays its retry schedule.
+* **Bit-identical degradation.** Every ladder rung executes a path
+  that is bit-identical to the serial numpy oracle (the repo-wide
+  contract), so stepping down changes latency, never answers.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    AdmissionError,
+    BackendCapabilityError,
+    CakeError,
+    DeadlineExceededError,
+)
+from repro.gemm.backends import resolve_backend
+from repro.gemm.parallel import check_multiply_operands
+from repro.gemm.result import GemmRun
+from repro.gemm.sharded import ShardExecutionError
+from repro.gemm.verify import NumericFaultError
+from repro.machines.presets import intel_i9_10900k
+from repro.machines.spec import MachineSpec
+from repro.packing.pool import BufferPool
+from repro.runtime.deadline import Deadline
+from repro.runtime.executor import RetryPolicy
+from repro.runtime.faults import InjectedFault
+from repro.serve.admission import admission_decision
+from repro.serve.batching import EngineCache, Rung, degradation_rungs
+from repro.serve.classifier import ShapeClass, classify
+from repro.serve.request import MultiplyRequest, ResponseHandle, ServeReport
+
+#: Failures worth retrying in place: numeric faults heal on recompute,
+#: shard/pool crashes heal on rebuild. Capability and deadline errors
+#: are excluded — retrying cannot change either.
+TRANSIENT_ERRORS = (
+    NumericFaultError,
+    InjectedFault,
+    ShardExecutionError,
+    BrokenProcessPool,
+)
+
+_VALID_ENGINES = ("cake", "goto")
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    """The q-th percentile (nearest-rank) of an unsorted sample."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerStats:
+    """One consistent snapshot of the server's health counters."""
+
+    queue_depth: int
+    in_flight: int
+    capacity: int
+    submitted: int
+    admitted: int
+    executed: int
+    completed: int
+    failed: int
+    shed_capacity: int
+    shed_deadline: int
+    shed_shutdown: int
+    deadline_exceeded: int
+    retries: int
+    degradations: int
+    batches: int
+    coalesced: int
+    p50_seconds: float
+    p99_seconds: float
+    pool: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "capacity": self.capacity,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "executed": self.executed,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed_capacity": self.shed_capacity,
+            "shed_deadline": self.shed_deadline,
+            "shed_shutdown": self.shed_shutdown,
+            "deadline_exceeded": self.deadline_exceeded,
+            "retries": self.retries,
+            "degradations": self.degradations,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+            "pool": dict(self.pool),
+        }
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One admitted request waiting in (or drained from) the queue."""
+
+    seq: int
+    request: MultiplyRequest
+    handle: ResponseHandle
+    shape_class: ShapeClass
+    #: Coalescing identity: equal keys may share one engine pass.
+    #: ``None`` marks requests that must run solo (verified/sharded).
+    profile_key: tuple | None
+    enqueued_at: float
+
+
+class MultiplyServer:
+    """An admission-controlled, deadline-aware GEMM front door.
+
+    Use as a context manager (``with MultiplyServer() as server:``) or
+    call :meth:`start`/:meth:`stop` explicitly. ``submit`` returns a
+    :class:`~repro.serve.request.ResponseHandle` immediately (or raises
+    :class:`~repro.errors.AdmissionError`); ``handle.result()`` blocks
+    for the product.
+
+    Parameters
+    ----------
+    machine:
+        Platform model engines are built for (default: the paper's
+        Intel i9-10900K).
+    capacity:
+        Bounded queue limit; submits beyond it are shed.
+    executors:
+        Concurrent engine passes (dispatcher worker threads).
+    max_batch:
+        Most same-class small requests coalesced into one engine pass.
+    cores:
+        Modelled core count for the engines (``None``: all).
+    default_deadline:
+        Budget in seconds applied when a request does not name one;
+        ``None`` means unbounded by default.
+    retry_policy:
+        Backoff for transient failures (default: 2 retries from 10 ms).
+    stats_window:
+        Completed-request latencies retained for p50/p99.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec | None = None,
+        *,
+        capacity: int = 64,
+        executors: int = 2,
+        max_batch: int = 8,
+        cores: int | None = None,
+        default_deadline: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        stats_window: int = 512,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if executors < 1:
+            raise ValueError(f"executors must be >= 1, got {executors}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.machine = intel_i9_10900k() if machine is None else machine
+        self.capacity = capacity
+        self.executors = executors
+        self.max_batch = max_batch
+        self.cores = cores
+        self.default_deadline = default_deadline
+        self.retry_policy = (
+            RetryPolicy(retries=2, base_delay=0.01, max_delay=0.25)
+            if retry_policy is None
+            else retry_policy
+        )
+        self.pool = BufferPool()
+        self.engines = EngineCache(self.machine, self.pool)
+
+        self._cond = threading.Condition()
+        self._queue: list[_Pending] = []
+        self._seq = 0
+        self._in_flight = 0
+        self._running = False
+        self._stopping = False
+        self._drain = True
+        self._executor: ThreadPoolExecutor | None = None
+        self._dispatcher: threading.Thread | None = None
+        self._counters = {
+            "submitted": 0,
+            "admitted": 0,
+            "executed": 0,
+            "completed": 0,
+            "failed": 0,
+            "shed_capacity": 0,
+            "shed_deadline": 0,
+            "shed_shutdown": 0,
+            "deadline_exceeded": 0,
+            "retries": 0,
+            "degradations": 0,
+            "batches": 0,
+            "coalesced": 0,
+        }
+        self._latencies: deque[float] = deque(maxlen=stats_window)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MultiplyServer":
+        """Start the dispatcher and executor threads (idempotent)."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+            self._stopping = False
+            self._drain = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.executors, thread_name_prefix="cake-serve"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="cake-serve-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop serving; always resolves every admitted handle.
+
+        ``drain=True`` finishes queued work first; ``drain=False``
+        resolves queued requests with ``AdmissionError("shutdown")``
+        and only waits for the in-flight passes. Either way no handle
+        is left unresolved — stop cannot strand a client.
+        """
+        with self._cond:
+            if not self._running:
+                return
+            self._stopping = True
+            self._drain = drain
+            if not drain:
+                for pending in self._queue:
+                    pending.handle.resolve(
+                        error=AdmissionError(
+                            "shutdown",
+                            "server stopped before execution",
+                            len(self._queue),
+                            self.capacity,
+                            None,
+                        )
+                    )
+                    self._counters["shed_shutdown"] += 1
+                self._queue.clear()
+            self._cond.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        with self._cond:
+            self._running = False
+
+    def __enter__(self) -> "MultiplyServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- client surface ------------------------------------------------------
+
+    def submit(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        engine: str = "cake",
+        deadline: float | None = None,
+        priority: int = 0,
+        verify=False,
+        backend: str | None = None,
+        workers: int | None = None,
+        processes=None,
+    ) -> ResponseHandle:
+        """Admit one multiply; returns its handle or sheds structured.
+
+        Validation (shape/dtype/backend capability) happens here,
+        synchronously, so a request that can never execute is refused
+        with the same structured errors the engines raise — the queue
+        only ever holds executable work.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if engine not in _VALID_ENGINES:
+            raise ValueError(
+                f"engine must be one of {_VALID_ENGINES}, got {engine!r}"
+            )
+        spec = resolve_backend(backend)
+        check_multiply_operands(a, b, backend=spec)
+        budget = self.default_deadline if deadline is None else deadline
+        with self._cond:
+            self._counters["submitted"] += 1
+            decision = admission_decision(
+                queue_depth=len(self._queue),
+                capacity=self.capacity,
+                deadline_budget=budget,
+                executors=self.executors,
+                service_estimate=self._p50_locked(),
+                stopping=self._stopping or not self._running,
+            )
+            if decision is not None:
+                self._counters["shed_" + decision.reason] += 1
+                raise decision
+            seq = self._seq
+            self._seq += 1
+            now = time.monotonic()
+            request = MultiplyRequest(
+                a=a,
+                b=b,
+                engine=engine,
+                deadline=budget,
+                priority=priority,
+                verify=verify,
+                backend=backend,
+                workers=workers,
+                processes=processes,
+            )
+            shape_class = classify(engine, a, b, cores=self.cores)
+            report = ServeReport(
+                request_id=seq,
+                shape_class=shape_class.describe(),
+                engine=engine,
+                deadline=budget,
+                priority=priority,
+                backend=backend,
+                workers=workers,
+            )
+            handle = ResponseHandle(
+                request,
+                report,
+                None if budget is None else Deadline.after(budget, now=now),
+                now,
+            )
+            solo = (
+                verify not in (False, None)
+                or processes not in (None, 1)
+                or not shape_class.small
+            )
+            pending = _Pending(
+                seq=seq,
+                request=request,
+                handle=handle,
+                shape_class=shape_class,
+                profile_key=(
+                    None
+                    if solo
+                    else (shape_class.key, backend, workers)
+                ),
+                enqueued_at=now,
+            )
+            self._queue.append(pending)
+            self._counters["admitted"] += 1
+            self._cond.notify_all()
+        return handle
+
+    def multiply(self, a: np.ndarray, b: np.ndarray, **kwargs) -> GemmRun:
+        """Submit-and-wait convenience: one blocking round trip."""
+        return self.submit(a, b, **kwargs).result()
+
+    def stats(self) -> ServerStats:
+        """A consistent snapshot of queue/health/latency counters."""
+        with self._cond:
+            latencies = list(self._latencies)
+            return ServerStats(
+                queue_depth=len(self._queue),
+                in_flight=self._in_flight,
+                capacity=self.capacity,
+                p50_seconds=_percentile(latencies, 50.0),
+                p99_seconds=_percentile(latencies, 99.0),
+                pool=self.pool.stats(),
+                **self._counters,
+            )
+
+    # -- dispatcher ----------------------------------------------------------
+
+    def _p50_locked(self) -> float | None:
+        if not self._latencies:
+            return None
+        return _percentile(list(self._latencies), 50.0)
+
+    def _expire_queued_locked(self) -> None:
+        """Resolve queued requests whose deadline passed; free the slots."""
+        now = time.monotonic()
+        expired = [p for p in self._queue if p.handle.expired(now)]
+        if not expired:
+            return
+        for pending in expired:
+            self._queue.remove(pending)
+            deadline = pending.handle.deadline
+            if pending.handle.resolve(
+                error=DeadlineExceededError(
+                    "queue",
+                    budget=None if deadline is None else deadline.budget,
+                    elapsed=now - pending.enqueued_at,
+                )
+            ):
+                self._counters["deadline_exceeded"] += 1
+
+    def _take_batch_locked(self) -> list[_Pending]:
+        """Pop the highest-priority request plus coalescable classmates."""
+        head = min(
+            self._queue, key=lambda p: (-p.request.priority, p.seq)
+        )
+        self._queue.remove(head)
+        batch = [head]
+        if head.profile_key is not None:
+            mates = sorted(
+                (
+                    p
+                    for p in self._queue
+                    if p.profile_key == head.profile_key
+                ),
+                key=lambda p: p.seq,
+            )
+            for mate in mates[: self.max_batch - 1]:
+                self._queue.remove(mate)
+                batch.append(mate)
+        self._counters["batches"] += 1
+        self._counters["coalesced"] += len(batch) - 1
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopping and not (
+                    self._queue and self._in_flight < self.executors
+                ):
+                    # The periodic wake expires queued deadlines even
+                    # when nothing else moves.
+                    self._cond.wait(timeout=0.05)
+                    self._expire_queued_locked()
+                if self._stopping and (not self._drain or not self._queue):
+                    break
+                self._expire_queued_locked()
+                if not self._queue or self._in_flight >= self.executors:
+                    continue
+                batch = self._take_batch_locked()
+                self._in_flight += 1
+            assert self._executor is not None
+            future = self._executor.submit(self._run_batch, batch)
+            future.add_done_callback(
+                lambda fut, batch=batch: self._batch_done(fut, batch)
+            )
+
+    def _batch_done(self, future, batch: list[_Pending]) -> None:
+        error = future.exception()
+        for pending in batch:
+            if not pending.handle.done():
+                # _run_one resolves every handle itself; reaching here
+                # means a dispatcher bug — fail structured rather than
+                # strand the client.
+                pending.handle.resolve(
+                    error=error
+                    if error is not None
+                    else CakeError("request dropped by the dispatcher")
+                )
+        with self._cond:
+            self._in_flight -= 1
+            if error is not None:
+                self._counters["failed"] += len(batch)
+            self._cond.notify_all()
+
+    # -- execution -----------------------------------------------------------
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        for pending in batch:
+            self._run_one(pending, batch_size=len(batch))
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._cond:
+            self._counters[name] += amount
+
+    def _run_one(self, pending: _Pending, *, batch_size: int) -> None:
+        handle = pending.handle
+        report = handle.report
+        request = pending.request
+        deadline = handle.deadline
+        now = time.monotonic()
+        report.queue_seconds = now - pending.enqueued_at
+        report.batch_size = batch_size
+        if handle.done():
+            return
+        if handle.expired(now):
+            if handle.resolve(
+                error=DeadlineExceededError(
+                    "queue",
+                    budget=None if deadline is None else deadline.budget,
+                    elapsed=now - pending.enqueued_at,
+                )
+            ):
+                self._count("deadline_exceeded")
+            return
+        self._count("executed")
+
+        rungs = degradation_rungs(request)
+        rung_index = 0
+        attempt_on_rung = 0
+        seed = request.seed()
+        while True:
+            rung = rungs[rung_index]
+            now = time.monotonic()
+            if handle.expired(now):
+                if handle.resolve(
+                    error=DeadlineExceededError(
+                        "execute",
+                        budget=deadline.budget if deadline else None,
+                        elapsed=now - handle.submitted_at,
+                    )
+                ):
+                    self._count("deadline_exceeded")
+                return
+            engine = self.engines.engine_for(
+                request,
+                pending.shape_class,
+                rung,
+                deadline_at=None if deadline is None else deadline.at,
+            )
+            report.attempts += 1
+            started = time.perf_counter()
+            try:
+                run = engine.multiply(request.a, request.b)
+            except DeadlineExceededError as err:
+                report.execute_seconds += time.perf_counter() - started
+                if handle.resolve(error=err):
+                    self._count("deadline_exceeded")
+                return
+            except BackendCapabilityError as err:
+                report.execute_seconds += time.perf_counter() - started
+                oracle = Rung(1, rung.workers, "numpy")
+                if rung.backend != "numpy" and oracle != rung:
+                    report.degradations.append(
+                        {
+                            "from": rung.describe(),
+                            "to": oracle.describe(),
+                            "reason": type(err).__name__,
+                        }
+                    )
+                    self._count("degradations")
+                    rungs = rungs[: rung_index + 1] + [oracle]
+                    rung_index += 1
+                    attempt_on_rung = 0
+                    continue
+                if handle.resolve(error=err):
+                    self._count("failed")
+                return
+            except TRANSIENT_ERRORS as err:
+                report.execute_seconds += time.perf_counter() - started
+                attempt_on_rung += 1
+                if attempt_on_rung <= self.retry_policy.retries:
+                    report.retries += 1
+                    self._count("retries")
+                    delay = self.retry_policy.delay(seed, attempt_on_rung)
+                    if deadline is not None:
+                        delay = min(delay, deadline.remaining())
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if rung_index + 1 < len(rungs):
+                    report.degradations.append(
+                        {
+                            "from": rung.describe(),
+                            "to": rungs[rung_index + 1].describe(),
+                            "reason": type(err).__name__,
+                        }
+                    )
+                    self._count("degradations")
+                    rung_index += 1
+                    attempt_on_rung = 0
+                    continue
+                if handle.resolve(error=err):
+                    self._count("failed")
+                return
+            except Exception as err:  # noqa: BLE001 - fail structured, never strand
+                report.execute_seconds += time.perf_counter() - started
+                if handle.resolve(error=err):
+                    self._count("failed")
+                return
+            report.execute_seconds += time.perf_counter() - started
+            report.backend = run.backend
+            report.workers = run.workers
+            report.processes = run.processes
+            now = time.monotonic()
+            if handle.expired(now):
+                # The product arrived after the budget: discard it.
+                if handle.resolve(
+                    error=DeadlineExceededError(
+                        "execute",
+                        budget=deadline.budget if deadline else None,
+                        elapsed=now - handle.submitted_at,
+                    )
+                ):
+                    self._count("deadline_exceeded")
+                return
+            if handle.resolve(run=run):
+                with self._cond:
+                    self._counters["completed"] += 1
+                    self._latencies.append(now - handle.submitted_at)
+            return

@@ -43,7 +43,7 @@ class TestRegistry:
         expected = {
             "table2", "fig4", "fig7a", "fig7b", "fig8",
             "fig9a", "fig9b", "fig10", "fig11", "fig12",
-            "verify", "backends", "sharded",
+            "verify", "backends", "sharded", "serve",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -116,3 +116,76 @@ class TestInProcessPoolUnchanged:
         pool.release(buf)
         assert pool.lease((5, 5), np.float64) is buf
         assert pool.hits == 1
+
+
+class TestStatsCounters:
+    def test_lease_hit_miss_counters(self):
+        pool = BufferPool()
+        first = pool.lease((4, 4), np.float32)
+        second = pool.lease((4, 4), np.float32)  # no free buffer: miss
+        assert (pool.lease_count, pool.hit_count, pool.miss_count) == (
+            2, 0, 2,
+        )
+        pool.release(first, second)
+        pool.lease((4, 4), np.float32)
+        assert (pool.lease_count, pool.hit_count, pool.miss_count) == (
+            3, 1, 2,
+        )
+
+    def test_stats_snapshot_is_consistent(self):
+        pool = BufferPool()
+        buf = pool.lease((8, 8), np.float64)
+        pool.release(buf)
+        pool.lease((8, 8), np.float64)
+        stats = pool.stats()
+        assert stats == {
+            "leases": 2,
+            "hits": 1,
+            "misses": 1,
+            "retained_bytes": 0,
+        }
+        assert stats["leases"] == stats["hits"] + stats["misses"]
+
+    def test_zero_element_leases_stay_invisible(self):
+        pool = BufferPool()
+        pool.release(pool.lease((0, 9), np.float64))
+        assert pool.lease_count == 0
+        assert pool.stats()["leases"] == 0
+
+    def test_threaded_contention_counters_balance(self):
+        # Regression for the serve layer's shared-pool accounting: many
+        # threads lease/release the same shape concurrently, and the
+        # counters must balance exactly (every lease is a hit or a miss,
+        # no lost updates) while no two live leases alias storage.
+        import threading
+
+        pool = BufferPool()
+        threads_n, rounds = 8, 25
+        barrier = threading.Barrier(threads_n)
+        errors: list[str] = []
+
+        def worker(tag: float) -> None:
+            barrier.wait()
+            for _ in range(rounds):
+                buf = pool.lease((16, 16), np.float64)
+                buf[...] = tag  # stamp; an aliased lease would corrupt
+                if not (buf == tag).all():
+                    errors.append("aliased lease observed")
+                pool.release(buf)
+
+        threads = [
+            threading.Thread(target=worker, args=(float(i + 1),))
+            for i in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        stats = pool.stats()
+        assert stats["leases"] == threads_n * rounds
+        assert stats["hits"] + stats["misses"] == stats["leases"]
+        # At most one fresh allocation per thread can be in flight at
+        # once, so misses never exceed the thread count.
+        assert 1 <= stats["misses"] <= threads_n

@@ -1,0 +1,1 @@
+"""Tests for the GEMM-as-a-service layer (repro.serve)."""

@@ -1,0 +1,174 @@
+"""Admission control: every submit answered, spent deadlines never run.
+
+The hypothesis properties here are satellite 3a of ISSUE 8: a request
+whose deadline budget is non-positive at submit time is *always* shed
+at the front door with ``reason="deadline"`` — no combination of queue
+state, capacity, latency history, or executor count may admit it, and
+the server-level test pins that such a request is never executed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AdmissionError
+from repro.serve.admission import (
+    DEFAULT_SERVICE_ESTIMATE,
+    admission_decision,
+    retry_after_hint,
+)
+from repro.serve.server import MultiplyServer
+
+
+class TestDecision:
+    def test_admits_when_room_and_budget(self):
+        assert (
+            admission_decision(
+                queue_depth=3, capacity=8, deadline_budget=1.0
+            )
+            is None
+        )
+        assert (
+            admission_decision(
+                queue_depth=0, capacity=1, deadline_budget=None
+            )
+            is None
+        )
+
+    def test_capacity_shed_carries_queue_state_and_hint(self):
+        err = admission_decision(
+            queue_depth=8,
+            capacity=8,
+            deadline_budget=None,
+            executors=2,
+            service_estimate=0.1,
+        )
+        assert isinstance(err, AdmissionError)
+        assert err.reason == "capacity"
+        assert (err.queue_depth, err.capacity) == (8, 8)
+        assert err.retry_after == pytest.approx(4 * 0.1)
+
+    def test_shutdown_outranks_everything(self):
+        err = admission_decision(
+            queue_depth=0,
+            capacity=8,
+            deadline_budget=-1.0,
+            stopping=True,
+        )
+        assert err.reason == "shutdown"
+        assert err.retry_after is None
+
+    def test_retry_after_floors_to_one_wave(self):
+        assert retry_after_hint(0, 4, None) == DEFAULT_SERVICE_ESTIMATE
+        assert retry_after_hint(1, 8, 0.2) == pytest.approx(0.2)
+        # Garbage estimates fall back to the default, never to zero.
+        assert retry_after_hint(2, 1, -5.0) == pytest.approx(
+            2 * DEFAULT_SERVICE_ESTIMATE
+        )
+
+    @given(
+        queue_depth=st.integers(min_value=0, max_value=1_000),
+        capacity=st.integers(min_value=1, max_value=1_000),
+        budget=st.floats(
+            max_value=0.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        executors=st.integers(min_value=1, max_value=64),
+        estimate=st.one_of(
+            st.none(),
+            st.floats(
+                min_value=-10.0,
+                max_value=10.0,
+                allow_nan=False,
+            ),
+        ),
+    )
+    def test_spent_budget_always_shed_as_deadline(
+        self, queue_depth, capacity, budget, executors, estimate
+    ):
+        err = admission_decision(
+            queue_depth=queue_depth,
+            capacity=capacity,
+            deadline_budget=budget,
+            executors=executors,
+            service_estimate=estimate,
+        )
+        assert isinstance(err, AdmissionError)
+        assert err.reason == "deadline"
+        assert err.retry_after is None  # retrying the same budget is futile
+
+    @given(
+        queue_depth=st.integers(min_value=0, max_value=1_000),
+        capacity=st.integers(min_value=1, max_value=1_000),
+        budget=st.one_of(
+            st.none(),
+            st.floats(
+                min_value=1e-6,
+                max_value=1e6,
+                allow_nan=False,
+            ),
+        ),
+    )
+    def test_decision_is_total(self, queue_depth, capacity, budget):
+        # Every input either admits or sheds with a known reason —
+        # there is no third outcome and no exception.
+        err = admission_decision(
+            queue_depth=queue_depth,
+            capacity=capacity,
+            deadline_budget=budget,
+        )
+        if err is not None:
+            assert err.reason in ("capacity", "deadline", "shutdown")
+        if queue_depth < capacity:
+            assert err is None  # positive budget + room always admits
+
+
+class TestServerFrontDoor:
+    def test_spent_deadline_never_executes(self, intel):
+        a = np.ones((8, 8), dtype=np.float32)
+        with MultiplyServer(intel, cores=1) as server:
+            for budget in (0.0, -1.0, -1e-9):
+                with pytest.raises(AdmissionError) as exc:
+                    server.submit(a, a, deadline=budget)
+                assert exc.value.reason == "deadline"
+            stats = server.stats()
+        assert stats.shed_deadline == 3
+        assert stats.admitted == 0
+        assert stats.executed == 0  # shed at the door, never run
+
+    def test_capacity_shed_when_queue_is_full(self, intel):
+        a = np.ones((8, 8), dtype=np.float32)
+        server = MultiplyServer(intel, cores=1, capacity=2, executors=1)
+        with server:
+            # The condition guards the queue with an RLock, so holding
+            # it from the test thread freezes the dispatcher while
+            # reentrant submits fill the bounded queue deterministically.
+            with server._cond:
+                server.submit(a, a)
+                server.submit(a, a)
+                with pytest.raises(AdmissionError) as exc:
+                    server.submit(a, a)
+            assert exc.value.reason == "capacity"
+            assert exc.value.queue_depth == 2
+            assert exc.value.capacity == 2
+            assert exc.value.retry_after is not None
+        stats = server.stats()
+        assert stats.shed_capacity == 1
+        assert stats.completed == 2  # the admitted pair still finished
+
+    def test_submit_after_stop_is_shutdown_shed(self, intel):
+        a = np.ones((8, 8), dtype=np.float32)
+        server = MultiplyServer(intel, cores=1)
+        server.start()
+        server.stop()
+        with pytest.raises(AdmissionError) as exc:
+            server.submit(a, a)
+        assert exc.value.reason == "shutdown"
+
+    def test_invalid_engine_is_a_value_error(self, intel):
+        a = np.ones((4, 4), dtype=np.float32)
+        with MultiplyServer(intel, cores=1) as server:
+            with pytest.raises(ValueError, match="engine"):
+                server.submit(a, a, engine="strassen")

@@ -1,0 +1,59 @@
+"""Shape classification: the dispatcher's coalescing identity."""
+
+import numpy as np
+import pytest
+
+from repro.serve.classifier import (
+    SMALL_SURFACE_ELEMENTS,
+    ShapeClass,
+    classify,
+)
+
+
+def _operands(m, k, n, dtype=np.float32):
+    return (
+        np.zeros((m, k), dtype=dtype),
+        np.zeros((k, n), dtype=dtype),
+    )
+
+
+class TestClassify:
+    def test_key_groups_identical_problems(self):
+        a1, b1 = _operands(64, 128, 96)
+        a2, b2 = _operands(64, 128, 96)
+        assert classify("cake", a1, b1).key == classify("cake", a2, b2).key
+
+    def test_key_separates_engine_shape_dtype_cores(self):
+        a, b = _operands(64, 128, 96)
+        base = classify("cake", a, b)
+        assert classify("goto", a, b).key != base.key
+        a64, b64 = _operands(64, 128, 96, dtype=np.float64)
+        assert classify("cake", a64, b64).key != base.key
+        at, bt = _operands(96, 128, 64)
+        assert classify("cake", at, bt).key != base.key
+        assert classify("cake", a, b, cores=4).key != base.key
+
+    def test_small_threshold_is_total_surface(self):
+        a, b = _operands(16, 16, 16)
+        assert classify("cake", a, b).small
+        # Surface = m*k + k*n + m*n elements; straddle the threshold.
+        side = int((SMALL_SURFACE_ELEMENTS / 3) ** 0.5)
+        big_a, big_b = _operands(2 * side, 2 * side, 2 * side)
+        assert not classify("cake", big_a, big_b).small
+        tiny = classify(
+            "cake", a, b, small_surface=3 * 16 * 16 - 1
+        )
+        assert not tiny.small
+
+    def test_describe_is_human_readable(self):
+        a, b = _operands(256, 2048, 1024)
+        label = classify("cake", a, b).describe()
+        assert label == "cake:256x1024x2048:f4"
+
+    def test_frozen_and_hashable(self):
+        a, b = _operands(8, 8, 8)
+        cls = classify("cake", a, b)
+        assert isinstance(cls, ShapeClass)
+        assert hash(cls.key)  # usable as a dict key
+        with pytest.raises(AttributeError):
+            cls.m = 5

@@ -1,12 +1,28 @@
 """Tests for the exception hierarchy contract."""
 
+import pickle
+
+import numpy as np
 import pytest
 
 from repro.errors import (
+    AdmissionError,
+    BackendCapabilityError,
     CakeError,
     ConfigurationError,
+    DeadlineExceededError,
     ScheduleError,
     SimulationError,
+)
+from repro.gemm.sharded import ShardExecutionError
+from repro.gemm.verify import IdentityFailure, NumericFaultError
+from repro.runtime.faults import InjectedFault
+from repro.runtime.executor import RuntimeStats
+from repro.runtime.outcome import (
+    IncompleteRunError,
+    RunReport,
+    TaskExecutionError,
+    TaskOutcome,
 )
 
 
@@ -28,3 +44,117 @@ class TestHierarchy:
     def test_distinct_types(self):
         assert not issubclass(ScheduleError, ConfigurationError)
         assert not issubclass(SimulationError, ScheduleError)
+
+
+def _failed_outcome() -> TaskOutcome:
+    return TaskOutcome(
+        task_id="grid/0", ok=False, error_type="ValueError",
+        error_message="boom", attempts=3,
+    )
+
+
+#: One representative instance per CakeError subclass. Every entry must
+#: survive ``pickle.loads(pickle.dumps(exc))`` with its payload intact:
+#: shard workers and the serve dispatcher move these across
+#: process/thread boundaries, and an exception that arrives as a bare
+#: ``TypeError`` from its own constructor is a silent loss of the
+#: structured failure the whole robustness story depends on.
+_EXAMPLES = {
+    CakeError: lambda: CakeError("base failure"),
+    ConfigurationError: lambda: ConfigurationError("cache too small"),
+    ScheduleError: lambda: ScheduleError("block visited twice"),
+    SimulationError: lambda: SimulationError("event in the past"),
+    BackendCapabilityError: lambda: BackendCapabilityError(
+        "blas-group", "accumulation dtype not supported",
+        np.dtype(np.float16),
+    ),
+    AdmissionError: lambda: AdmissionError(
+        "capacity", "queue is full", queue_depth=8, capacity=8,
+        retry_after=0.25,
+    ),
+    DeadlineExceededError: lambda: DeadlineExceededError(
+        "shard", budget=1.5, elapsed=2.75
+    ),
+    NumericFaultError: lambda: NumericFaultError(
+        "CB(1, 2, 3)", (1, 2, 3),
+        IdentityFailure(
+            identity="row", strip=4, residual=0.5, tolerance=1e-6
+        ),
+    ),
+    ShardExecutionError: lambda: ShardExecutionError([(0, 1), (1, 0)], 2),
+    InjectedFault: lambda: InjectedFault("scripted worker crash"),
+    TaskExecutionError: lambda: TaskExecutionError(_failed_outcome()),
+    IncompleteRunError: lambda: IncompleteRunError(
+        RunReport(
+            rows=[None],
+            failures=[_failed_outcome()],
+            stats=RuntimeStats(
+                tasks=1, cache_hits=0, executed=1, workers=1,
+                shards=0, wall_seconds=0.1,
+            ),
+        ),
+        experiment="bench",
+    ),
+}
+
+
+def _all_cake_errors() -> list[type]:
+    """Every CakeError subclass importable from the package, found by
+    walking the live class hierarchy — a new subclass that is not given
+    an example above fails the suite rather than dodging the contract.
+    """
+    seen: list[type] = [CakeError]
+    frontier = [CakeError]
+    while frontier:
+        for sub in frontier.pop().__subclasses__():
+            if sub not in seen:
+                seen.append(sub)
+                frontier.append(sub)
+    return seen
+
+
+class TestPickleRoundTrip:
+    def test_every_subclass_has_an_example(self):
+        missing = [
+            cls.__name__
+            for cls in _all_cake_errors()
+            if cls not in _EXAMPLES
+        ]
+        assert not missing, (
+            f"CakeError subclasses without a pickle round-trip example: "
+            f"{missing}"
+        )
+
+    @pytest.mark.parametrize(
+        "cls", list(_EXAMPLES), ids=lambda cls: cls.__name__
+    )
+    def test_round_trip(self, cls):
+        original = _EXAMPLES[cls]()
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is cls
+        assert str(clone) == str(original)
+        # Payload attributes survive, not just the formatted message.
+        for name, value in vars(original).items():
+            got = getattr(clone, name)
+            if isinstance(value, (TaskOutcome, RunReport)):
+                continue  # nested dataclasses compared by their fields
+            assert got == value, f"{cls.__name__}.{name} lost in transit"
+
+    def test_backend_capability_dtype_survives(self):
+        # The regression this class exists for: __reduce__ used to drop
+        # the dtype keyword, so unpickled copies lost which dtype the
+        # backend refused.
+        original = BackendCapabilityError(
+            "torch", "needs float32", np.dtype(np.float64)
+        )
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.dtype == np.dtype(np.float64)
+        assert clone.backend == "torch"
+        assert isinstance(clone, TypeError)  # dual inheritance intact
+
+    def test_task_execution_error_keeps_outcome(self):
+        clone = pickle.loads(
+            pickle.dumps(TaskExecutionError(_failed_outcome()))
+        )
+        assert clone.outcome.task_id == "grid/0"
+        assert clone.failures[0].error_type == "ValueError"
