@@ -73,6 +73,8 @@ def analyze_cake_batch(
     *,
     cores: int | None = None,
     alpha: float | None = None,
+    plan: CakePlan | None = None,
+    schedule: str = "k-first",
 ) -> GemmRun:
     """CAKE's analytic walk (:meth:`CakeGemm.analyze`), batched.
 
@@ -80,10 +82,23 @@ def analyze_cake_batch(
     the same K-first order, the same LRU residency decisions, the same
     roofline pricing — with the per-block Python loop replaced by array
     passes plus one tight replay loop for the LRU.
+
+    The autotuner prices candidate plans through the same walk: ``plan``
+    supplies an explicit (possibly overridden) :class:`CakePlan` in place
+    of the analytic derivation, and ``schedule`` selects a block-order
+    variant (:mod:`repro.schedule.variants`). Only reduction-complete
+    orders (``k-first``, ``naive``) keep the no-spill contract; spilling
+    variants are priced with their C round-trips charged.
     """
-    plan = CakePlan.from_problem(machine, space, cores=cores, alpha=alpha)
+    if plan is None:
+        plan = CakePlan.from_problem(machine, space, cores=cores, alpha=alpha)
     grid = plan.grid()
-    order = kfirst_order_arrays(grid)
+    if schedule == "k-first":
+        order = kfirst_order_arrays(grid)
+    else:
+        from repro.schedule.variants import build_order_arrays
+
+        order = build_order_arrays(schedule, grid)
     mi, ni, ki = order.mi, order.ni, order.ki
     sa, sb, sc = grid.surface_arrays(mi, ni, ki)
 
@@ -135,9 +150,12 @@ def analyze_cake_batch(
     internal = sa + active * sb + 2 * sc
     counters.internal = int(internal.sum())
 
-    if counters.ext_c_spill or counters.ext_c_read:  # pragma: no cover
+    if schedule in ("k-first", "naive") and (
+        counters.ext_c_spill or counters.ext_c_read
+    ):  # pragma: no cover
         raise ConfigurationError(
-            "CAKE's K-first schedule must never spill partial results"
+            "CAKE's reduction-complete schedules must never spill partial"
+            " results"
         )
 
     batch = block_times_batch(
@@ -175,6 +193,7 @@ def analyze_goto_batch(
     space: ComputationSpace,
     *,
     cores: int | None = None,
+    plan: GotoPlan | None = None,
 ) -> GemmRun:
     """GOTO's analytic walk (:meth:`GotoGemm.analyze`), batched.
 
@@ -182,9 +201,11 @@ def analyze_goto_batch(
     broadcasting over a ``(n-panels, k-slices, waves)`` lattice: wave
     geometry (rows, tallest strip, active cores) is one ``reduceat`` pass
     over the M strips, and every counter is a masked sum over the lattice
-    flattened in the scalar loop-nest order.
+    flattened in the scalar loop-nest order. ``plan`` substitutes an
+    explicit (possibly overridden) :class:`GotoPlan` for the analytic one.
     """
-    plan = GotoPlan.from_problem(machine, space, cores=cores)
+    if plan is None:
+        plan = GotoPlan.from_problem(machine, space, cores=cores)
 
     counters = TrafficCounters()
     counters.ext_pack = 2 * (space.m * space.k + space.k * space.n)

@@ -31,6 +31,7 @@ def serve(
     cores: int | None = None,
     default_deadline: float | None = None,
     retry_policy: RetryPolicy | None = None,
+    tune: object = False,
 ) -> MultiplyServer:
     """A **started** multiply server (GEMM-as-a-service front door).
 
@@ -45,6 +46,11 @@ def serve(
         with serve(default_deadline=0.5) as server:
             handle = server.submit(a, b)
             run = handle.result()
+
+    ``tune=True`` (or a :class:`~repro.tune.TuneConfig`) resolves each
+    shape class's plan through the persistent plan cache, tuning cold
+    classes on background threads off the request path — see
+    :mod:`repro.tune`.
     """
     return MultiplyServer(
         machine,
@@ -54,6 +60,7 @@ def serve(
         cores=cores,
         default_deadline=default_deadline,
         retry_policy=retry_policy,
+        tune=tune,
     ).start()
 
 
@@ -68,6 +75,7 @@ def cake_matmul(
     verify: bool | VerifyConfig = False,
     backend: str | Backend | None = None,
     processes: int | ShardConfig | None = None,
+    tuned: object = None,
 ) -> GemmRun:
     """Multiply ``a @ b`` with the CAKE engine.
 
@@ -109,6 +117,16 @@ def cake_matmul(
         (processes x workers x backend) combination; ``run.shards``
         reports the grid, per-shard timers, and measured inter-process
         bytes against the communication lower bound.
+    tuned:
+        Resolve the plan through the autotuner's persistent cache
+        (:mod:`repro.tune`): ``True`` for the process default
+        :class:`~repro.tune.TuneConfig`, or pass one; ``False`` is
+        explicitly off, and the default ``None`` follows the
+        process-wide switch (:func:`repro.tune.set_default_tune`,
+        i.e. ``cake-bench --tuned``). A cold shape
+        tunes synchronously once; later calls (and later processes) hit
+        the cache. Tuned results are bit-identical to analytic ones —
+        validation rejects any candidate that is not.
 
     Returns
     -------
@@ -121,7 +139,7 @@ def cake_matmul(
     machine = intel_i9_10900k() if machine is None else machine
     return CakeGemm(
         machine, cores=cores, alpha=alpha, workers=workers, verify=verify,
-        backend=backend, processes=processes,
+        backend=backend, processes=processes, tuned=tuned,
     ).multiply(a, b)
 
 
@@ -135,15 +153,16 @@ def goto_matmul(
     verify: bool | VerifyConfig = False,
     backend: str | Backend | None = None,
     processes: int | ShardConfig | None = None,
+    tuned: object = None,
 ) -> GemmRun:
     """Multiply ``a @ b`` with the GOTO baseline engine (MKL/ARMPL model).
 
     Same contract as :func:`cake_matmul` (minus ``alpha``), including
-    the ``backend`` and ``processes`` selectors (GOTO shards over its
-    ``mc``-strip rows and ``nc``-panel columns).
+    the ``backend``, ``processes``, and ``tuned`` selectors (GOTO
+    shards over its ``mc``-strip rows and ``nc``-panel columns).
     """
     machine = intel_i9_10900k() if machine is None else machine
     return GotoGemm(
         machine, cores=cores, workers=workers, verify=verify,
-        backend=backend, processes=processes,
+        backend=backend, processes=processes, tuned=tuned,
     ).multiply(a, b)

@@ -18,6 +18,16 @@ from repro.bench.ablations import ABLATIONS
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 
 
+def describe_experiment(fn) -> str:
+    """One-line description for ``--list``: the docstring's first
+    non-blank line, or a placeholder when the docstring is missing,
+    empty, or all-whitespace (``.splitlines()[0]`` would raise)."""
+    for line in (fn.__doc__ or "").strip().splitlines():
+        if line.strip():
+            return line.strip()
+    return "(no description)"
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``cake-bench`` console script."""
     registry = {**EXPERIMENTS, **ABLATIONS}
@@ -134,6 +144,14 @@ def main(argv: list[str] | None = None) -> int:
         "unaffected",
     )
     parser.add_argument(
+        "--tuned",
+        action="store_true",
+        help="resolve engine plans through the autotuner's plan cache "
+        "(see repro.tune; cold keys tune once and persist, so a second "
+        "run is pure cache hits); analytic-only experiments are "
+        "unaffected",
+    )
+    parser.add_argument(
         "--deadline",
         type=float,
         default=None,
@@ -181,10 +199,14 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(f"--processes: {exc}")
 
+    if args.tuned:
+        from repro.tune import set_default_tune
+
+        set_default_tune(True)
+
     if args.list:
         for name, fn in sorted(registry.items()):
-            doc = (fn.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:20s} {doc}")
+            print(f"{name:20s} {describe_experiment(fn)}")
         return 0
 
     fault_plan = None

@@ -46,7 +46,7 @@ from repro.gemm.parallel import (
     resolve_workers,
     run_strip_groups,
 )
-from repro.gemm.plan import CakePlan
+from repro.gemm.plan import CakePlan, PlanOverride
 from repro.gemm.result import GemmRun, degenerate_run
 from repro.gemm.verify import (
     GroupVerifier,
@@ -142,6 +142,27 @@ class CakeGemm:
         makes packed-buffer reuse span engines; the pool is
         thread-safe, so concurrent ``multiply`` calls through one pool
         are fine.
+    plan:
+        A :class:`~repro.gemm.plan.PlanOverride` replacing individual
+        analytic plan fields (the autotuner's seam). Plan-shape fields
+        (``alpha``/``mc``/``kc``) redirect the derivation; execution
+        fields apply here: ``schedule`` selects a reduction-complete
+        block-order variant, ``strips`` sets the host execution
+        granularity (counters still price the modelled core count), and
+        ``workers`` applies only when the engine got no explicit
+        ``workers`` argument. Incompatible with ``tuned``.
+    tuned:
+        Resolve a :class:`PlanOverride` from the persistent tune cache
+        per multiplied shape (:mod:`repro.tune`): ``True`` uses the
+        process default :class:`~repro.tune.TuneConfig`, or pass a
+        config; ``False`` disables tuning outright, and the default
+        ``None`` defers to the process-wide switch
+        (:func:`repro.tune.set_default_tune` — what ``cake-bench
+        --tuned`` flips). A cache miss tunes synchronously on first
+        use (the serve layer instead tunes off the request path via
+        :class:`~repro.tune.PlanService`). Only :meth:`multiply`
+        resolves tuned plans — :meth:`analyze` prices the analytic (or
+        explicitly overridden) plan.
     """
 
     def __init__(
@@ -158,6 +179,8 @@ class CakeGemm:
         backend: "str | Backend | None" = None,
         processes: "int | ShardConfig | None" = None,
         pool: "BufferPool | None" = None,
+        plan: "PlanOverride | None" = None,
+        tuned: object = None,
     ) -> None:
         self.machine = machine
         self.cores = cores
@@ -165,6 +188,14 @@ class CakeGemm:
         self.exact_tiles = exact_tiles
         self.exact_walk = exact_walk
         self.workers = resolve_workers(workers)
+        self._workers_explicit = workers is not None
+        self.override = plan
+        self.tuned = tuned
+        if plan is not None and tuned:
+            raise ConfigurationError(
+                "plan= and tuned= are mutually exclusive: an explicit "
+                "override already decides the plan"
+            )
         self.exact_pack = exact_pack
         self.verify = resolve_verify(verify)
         self.backend = resolve_backend(backend)
@@ -189,6 +220,33 @@ class CakeGemm:
             ComputationSpace(m, n, k),
             cores=self.cores,
             alpha=self.alpha,
+            override=self.override,
+        )
+
+    def _tuned_override(
+        self, space: ComputationSpace, dtype: np.dtype
+    ) -> "PlanOverride | None":
+        """The override for this multiply: explicit, tuned, or none."""
+        if self.override is not None:
+            return self.override
+        tuned = self.tuned
+        if tuned is None:  # defer to the process default (--tuned)
+            from repro.tune import get_default_tune  # lazy: pkg cycle
+
+            tuned = get_default_tune()
+        if not tuned:
+            return None
+        from repro.tune import tuned_override  # lazy: pkg cycle
+
+        return tuned_override(
+            self.machine,
+            engine="cake",
+            space=space,
+            dtype=dtype,
+            cores=self.cores,
+            backend=self.backend.name,
+            processes=self.shards.processes if self.shards is not None else 1,
+            config=None if tuned is True else tuned,
         )
 
     def multiply(self, a: np.ndarray, b: np.ndarray) -> GemmRun:
@@ -232,6 +290,10 @@ class CakeGemm:
             ComputationSpace(m, n, k),
             cores=self.cores,
             alpha=self.alpha,
+            plan=self.plan_for(m, n, k) if self.override is not None else None,
+            schedule=(self.override.schedule or "k-first")
+            if self.override is not None
+            else "k-first",
         )
 
     # -- the schedule walk ----------------------------------------------------
@@ -243,14 +305,40 @@ class CakeGemm:
         b: np.ndarray | None = None,
     ) -> GemmRun:
         machine = self.machine
+        numeric = a is not None
+        override = self.override
+        if numeric:
+            assert b is not None
+            override = self._tuned_override(space, np.result_type(a, b))
         plan = CakePlan.from_problem(
-            machine, space, cores=self.cores, alpha=self.alpha
+            machine, space, cores=self.cores, alpha=self.alpha,
+            override=override,
         )
         grid = plan.grid()
-        order = plan.schedule()
+        schedule_name = "k-first"
+        if override is not None and override.schedule is not None:
+            schedule_name = override.schedule
+        if schedule_name == "k-first":
+            order = plan.schedule()
+        else:
+            from repro.schedule.variants import build_schedule
+
+            order = build_schedule(schedule_name, grid)
+        # Execution-only override fields: strip granularity (counters
+        # still price the modelled core count) and worker threads (an
+        # explicit workers= argument always wins). The sharded path keeps
+        # its own internal granularity, so strips only shapes the
+        # in-process executor's tasks.
+        exec_granularity = override.strips if override is not None else None
+        run_workers = self.workers
+        if (
+            override is not None
+            and override.workers is not None
+            and not self._workers_explicit
+        ):
+            run_workers = resolve_workers(override.workers)
         kernel = plan.kernel
 
-        numeric = a is not None
         shards = self.shards if numeric else None
         verifying = numeric and self.verify is not None and self.verify.enabled
         timers = PhaseTimers()
@@ -363,9 +451,14 @@ class CakeGemm:
                 a_block = packed_a.block(coord.mi, coord.ki)
                 b_panel = packed_b.panel(coord.ki, coord.ni)
                 c_view = c[m0 : m0 + ext.m, n0 : n0 + ext.n]
+                exec_strips = (
+                    strips
+                    if exec_granularity is None
+                    else _core_strips(ext.m, exec_granularity)
+                )
                 tasks: list[StripTask] = []
                 r0 = 0
-                for rows in strips:
+                for rows in exec_strips:
                     tasks.append(
                         StripTask(
                             a_block[r0 : r0 + rows],
@@ -405,7 +498,8 @@ class CakeGemm:
 
         if counters.ext_c_spill or counters.ext_c_read:  # pragma: no cover
             raise ConfigurationError(
-                "CAKE's K-first schedule must never spill partial results"
+                "CAKE's reduction-complete schedules must never spill"
+                " partial results"
             )
 
         report = None
@@ -449,7 +543,7 @@ class CakeGemm:
                         pool=arena,
                         c=c,
                         config=shards,
-                        workers=self.workers,
+                        workers=run_workers,
                         backend=self.backend.name,
                         verify=self.verify,
                         exact_tiles=self.exact_tiles,
@@ -475,7 +569,7 @@ class CakeGemm:
                 run_strip_groups(
                     groups,
                     kernel,
-                    workers=self.workers,
+                    workers=run_workers,
                     exact_tiles=self.exact_tiles,
                     timers=timers,
                     verifier=verifier,
@@ -487,6 +581,17 @@ class CakeGemm:
                 packed_a.release_to(self._pool)
                 packed_b.release_to(self._pool)
 
+        plan_summary = {
+            "alpha": plan.alpha,
+            "mc": plan.mc,
+            "kc": plan.kc,
+            "m_block": plan.m_block,
+            "n_block": plan.n_block,
+            "blocks": grid.num_blocks,
+        }
+        if override is not None:
+            plan_summary["override"] = override.as_dict()
+            plan_summary["schedule"] = schedule_name
         return GemmRun(
             engine="cake",
             machine=machine,
@@ -496,16 +601,9 @@ class CakeGemm:
             time=total,
             packing_seconds=pack.seconds,
             bound_blocks=bound_blocks,
-            plan_summary={
-                "alpha": plan.alpha,
-                "mc": plan.mc,
-                "kc": plan.kc,
-                "m_block": plan.m_block,
-                "n_block": plan.n_block,
-                "blocks": grid.num_blocks,
-            },
+            plan_summary=plan_summary,
             c=c,
-            workers=self.workers if numeric else 1,
+            workers=run_workers if numeric else 1,
             backend=self.backend.name if numeric else "numpy",
             phase_seconds=timers.as_dict() if numeric else None,
             verify=report,

@@ -35,7 +35,7 @@ from repro.gemm.parallel import (
     resolve_workers,
     run_strip_groups,
 )
-from repro.gemm.plan import GotoPlan
+from repro.gemm.plan import GotoPlan, PlanOverride
 from repro.gemm.result import GemmRun, degenerate_run
 from repro.gemm.verify import (
     GroupVerifier,
@@ -82,12 +82,25 @@ class GotoGemm:
         backend: "str | Backend | None" = None,
         processes: "int | ShardConfig | None" = None,
         pool: "BufferPool | None" = None,
+        plan: "PlanOverride | None" = None,
+        tuned: object = None,
     ) -> None:
         self.machine = machine
         self.cores = cores
         self.exact_tiles = exact_tiles
         self.exact_walk = exact_walk
         self.workers = resolve_workers(workers)
+        self._workers_explicit = workers is not None
+        # Same autotuner seam as CakeGemm: an explicit PlanOverride
+        # replaces mc/kc/nc after derivation (schedule/strips have no
+        # GOTO meaning and are ignored); tuned= consults the plan cache.
+        self.override = plan
+        self.tuned = tuned
+        if plan is not None and tuned:
+            raise ConfigurationError(
+                "plan= and tuned= are mutually exclusive: an explicit "
+                "override already decides the plan"
+            )
         self.exact_pack = exact_pack
         self.verify = resolve_verify(verify)
         self.backend = resolve_backend(backend)
@@ -108,7 +121,36 @@ class GotoGemm:
     def plan_for(self, m: int, n: int, k: int) -> GotoPlan:
         """The plan this engine would use for an ``m x k . k x n`` product."""
         return GotoPlan.from_problem(
-            self.machine, ComputationSpace(m, n, k), cores=self.cores
+            self.machine,
+            ComputationSpace(m, n, k),
+            cores=self.cores,
+            override=self.override,
+        )
+
+    def _tuned_override(
+        self, space: ComputationSpace, dtype: np.dtype
+    ) -> "PlanOverride | None":
+        """The override for this multiply: explicit, tuned, or none."""
+        if self.override is not None:
+            return self.override
+        tuned = self.tuned
+        if tuned is None:  # defer to the process default (--tuned)
+            from repro.tune import get_default_tune  # lazy: pkg cycle
+
+            tuned = get_default_tune()
+        if not tuned:
+            return None
+        from repro.tune import tuned_override  # lazy: pkg cycle
+
+        return tuned_override(
+            self.machine,
+            engine="goto",
+            space=space,
+            dtype=dtype,
+            cores=self.cores,
+            backend=self.backend.name,
+            processes=self.shards.processes if self.shards is not None else 1,
+            config=None if tuned is True else tuned,
         )
 
     def multiply(self, a: np.ndarray, b: np.ndarray) -> GemmRun:
@@ -142,7 +184,10 @@ class GotoGemm:
         from repro.analysis.batch import analyze_goto_batch  # lazy: pkg cycle
 
         return analyze_goto_batch(
-            self.machine, ComputationSpace(m, n, k), cores=self.cores
+            self.machine,
+            ComputationSpace(m, n, k),
+            cores=self.cores,
+            plan=self.plan_for(m, n, k) if self.override is not None else None,
         )
 
     # -- the loop nest ---------------------------------------------------------
@@ -154,10 +199,23 @@ class GotoGemm:
         b: np.ndarray | None = None,
     ) -> GemmRun:
         machine = self.machine
-        plan = GotoPlan.from_problem(machine, space, cores=self.cores)
+        numeric = a is not None
+        override = self.override
+        if numeric:
+            assert b is not None
+            override = self._tuned_override(space, np.result_type(a, b))
+        plan = GotoPlan.from_problem(
+            machine, space, cores=self.cores, override=override
+        )
+        run_workers = self.workers
+        if (
+            override is not None
+            and override.workers is not None
+            and not self._workers_explicit
+        ):
+            run_workers = resolve_workers(override.workers)
         kernel = plan.kernel
 
-        numeric = a is not None
         shards = self.shards if numeric else None
         verifying = numeric and self.verify is not None and self.verify.enabled
         timers = PhaseTimers()
@@ -366,7 +424,7 @@ class GotoGemm:
                         pool=arena,
                         c=c,
                         config=shards,
-                        workers=self.workers,
+                        workers=run_workers,
                         backend=self.backend.name,
                         verify=self.verify,
                         exact_tiles=self.exact_tiles,
@@ -392,7 +450,7 @@ class GotoGemm:
                 run_strip_groups(
                     groups,
                     kernel,
-                    workers=self.workers,
+                    workers=run_workers,
                     exact_tiles=self.exact_tiles,
                     timers=timers,
                     verifier=verifier,
@@ -409,6 +467,14 @@ class GotoGemm:
                 if a_full_by_ki and packed_a.strips > 1:
                     self._pool.release(*a_full_by_ki.values())
 
+        plan_summary = {
+            "mc": plan.mc,
+            "kc": plan.kc,
+            "nc": plan.nc,
+            "m_strips": len(m_strips),
+        }
+        if override is not None:
+            plan_summary["override"] = override.as_dict()
         return GemmRun(
             engine="goto",
             machine=machine,
@@ -418,14 +484,9 @@ class GotoGemm:
             time=total,
             packing_seconds=pack.seconds,
             bound_blocks=bound_blocks,
-            plan_summary={
-                "mc": plan.mc,
-                "kc": plan.kc,
-                "nc": plan.nc,
-                "m_strips": len(m_strips),
-            },
+            plan_summary=plan_summary,
             c=c,
-            workers=self.workers if numeric else 1,
+            workers=run_workers if numeric else 1,
             backend=self.backend.name if numeric else "numpy",
             phase_seconds=timers.as_dict() if numeric else None,
             verify=report,

@@ -37,6 +37,12 @@ from repro.util import require_positive
 #: bandwidth-starved for the problem.
 MAX_ALPHA = 64.0
 
+#: Explicit bound on the process-wide plan memos. Long-lived servers see
+#: an unbounded stream of shape classes; the memo must not grow planner
+#: memory without limit, so both memos evict LRU past this many plans
+#: (re-deriving an evicted plan is pure math, microseconds).
+PLAN_MEMO_MAXSIZE = 1024
+
 #: Candidate aspect factors for the bandwidth-matching scan.
 ALPHA_GRID: tuple[float, ...] = (
     1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0,
@@ -82,6 +88,96 @@ def _external_elements_per_cycle(machine: MachineSpec, kc: int) -> float:
 
 
 @dataclass(frozen=True, slots=True)
+class PlanOverride:
+    """Targeted deviations from the analytic plan (the autotuner's seam).
+
+    Every field defaults to "keep the analytic value"; the autotuner
+    (:mod:`repro.tune`) searches over the fields that are safe to vary
+    and persists the winner. The seam is deliberately narrow:
+
+    ``alpha``, ``mc``, ``nc``
+        Re-shape the CB block (CAKE) or the cache tiles (GOTO) along M
+        and N only. M/N re-blocking never changes any C element's
+        reduction order, so these are bit-safe by construction.
+    ``kc``
+        Allowed but **bit-hazardous**: re-blocking K changes the
+        floating-point accumulation grouping. The tuner pins ``kc`` to
+        the analytic value; an explicit override here is for
+        experiments, and tuner validation rejects any candidate whose
+        product drifts from the analytic plan's.
+    ``strips``
+        Host execution granularity: split each block's M extent into
+        this many strip tasks instead of one per *modelled* core.
+        Purely an execution knob — the schedule walk still prices the
+        plan at the modelled core count, so counters and modelled time
+        are unchanged. On hosts with fewer real cores than the model,
+        coarser strips trade scheduling overhead for larger kernel
+        calls.
+    ``workers``
+        Host threads for the numeric executor; applies only when the
+        engine was not given an explicit ``workers`` argument (an
+        explicit request, e.g. a serve degradation rung, always wins).
+    ``schedule``
+        Block-order variant name (:mod:`repro.schedule.variants`). Only
+        reduction-complete orders (``k-first``, ``naive``) are legal
+        for CAKE execution — orders that abandon partial C surfaces
+        violate the engine's no-spill contract (the MOMMS loop-order
+        discussion is why those variants are excluded, not searched).
+    """
+
+    alpha: float | None = None
+    mc: int | None = None
+    kc: int | None = None
+    nc: int | None = None
+    strips: int | None = None
+    workers: int | None = None
+    schedule: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.alpha is not None and not 0.0 < self.alpha <= MAX_ALPHA:
+            raise ConfigurationError(
+                f"override alpha must be in (0, {MAX_ALPHA}], got {self.alpha}"
+            )
+        for name in ("mc", "kc", "nc", "strips", "workers"):
+            value = getattr(self, name)
+            if value is not None and not value > 0:
+                raise ConfigurationError(
+                    f"override {name} must be > 0, got {value!r}"
+                )
+        if self.schedule is not None and self.schedule not in (
+            "k-first",
+            "naive",
+        ):
+            raise ConfigurationError(
+                f"override schedule must be a reduction-complete variant "
+                f"('k-first' or 'naive'), got {self.schedule!r}"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (None fields included, for the plan cache)."""
+        return {
+            "alpha": self.alpha,
+            "mc": self.mc,
+            "kc": self.kc,
+            "nc": self.nc,
+            "strips": self.strips,
+            "workers": self.workers,
+            "schedule": self.schedule,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "PlanOverride":
+        """Inverse of :meth:`as_dict` (unknown keys rejected)."""
+        known = {f for f in cls.__dataclass_fields__}
+        extra = set(doc) - known
+        if extra:
+            raise ConfigurationError(
+                f"unknown PlanOverride fields {sorted(extra)}"
+            )
+        return cls(**doc)
+
+
+@dataclass(frozen=True, slots=True)
 class CakePlan:
     """Analytically-derived CAKE tiling for one (machine, problem) pair."""
 
@@ -100,8 +196,16 @@ class CakePlan:
         *,
         cores: int | None = None,
         alpha: float | None = None,
+        override: "PlanOverride | None" = None,
     ) -> "CakePlan":
         """Derive the plan; ``alpha=None`` selects it from DRAM bandwidth.
+
+        An ``override`` (the autotuner's seam) replaces individual
+        fields of the analytically-derived plan *after* derivation:
+        ``alpha`` redirects the bandwidth scan, ``mc``/``kc`` replace
+        the LRU-solved extents. Execution-only override fields
+        (``strips``, ``workers``, ``schedule``) do not affect the plan
+        itself and are applied by the engines.
 
         Alpha selection applies the Section 3.2 feasibility condition
         ``BW_avail >= BW_min(alpha) = ((alpha+1)/alpha) * mr * nr`` with
@@ -120,7 +224,9 @@ class CakePlan:
         once through ``plan_for`` and again through ``analyze`` — so
         repeated calls return the *same* :class:`CakePlan` instance.
         """
-        return _cake_plan(machine, space, _resolve_cores(machine, cores), alpha)
+        return _cake_plan(
+            machine, space, _resolve_cores(machine, cores), alpha, override
+        )
 
     @property
     def m_block(self) -> int:
@@ -189,14 +295,27 @@ class CakePlan:
         return kfirst_schedule(self.grid())
 
 
-@lru_cache(maxsize=1024)
+@lru_cache(maxsize=PLAN_MEMO_MAXSIZE)
 def _cake_plan(
     machine: MachineSpec,
     space: ComputationSpace,
     cores: int,
     alpha: float | None,
+    override: "PlanOverride | None" = None,
 ) -> CakePlan:
     """The memoized body of :meth:`CakePlan.from_problem` (cores resolved)."""
+    if override is not None:
+        if override.alpha is not None:
+            alpha = override.alpha
+        base = _cake_plan(machine, space, cores, alpha)
+        return CakePlan(
+            machine,
+            space,
+            cores,
+            base.alpha,
+            base.mc if override.mc is None else override.mc,
+            base.kc if override.kc is None else override.kc,
+        )
     if alpha is not None:
         mc = solve_cake_mc(
             p=cores,
@@ -253,13 +372,17 @@ class GotoPlan:
         space: ComputationSpace,
         *,
         cores: int | None = None,
+        override: "PlanOverride | None" = None,
     ) -> "GotoPlan":
         """Derive GOTO tiles from the machine's cache sizes alone.
 
-        Memoized on ``(machine, space, cores)`` like
+        An ``override`` replaces ``mc``/``kc``/``nc`` after derivation
+        (``alpha`` has no meaning for GOTO and is ignored; execution-only
+        fields are applied by the engine). Memoized on
+        ``(machine, space, cores, override)`` like
         :meth:`CakePlan.from_problem`.
         """
-        return _goto_plan(machine, space, _resolve_cores(machine, cores))
+        return _goto_plan(machine, space, _resolve_cores(machine, cores), override)
 
     @property
     def kernel(self) -> MicroKernel:
@@ -279,11 +402,24 @@ class GotoPlan:
         )
 
 
-@lru_cache(maxsize=1024)
+@lru_cache(maxsize=PLAN_MEMO_MAXSIZE)
 def _goto_plan(
-    machine: MachineSpec, space: ComputationSpace, cores: int
+    machine: MachineSpec,
+    space: ComputationSpace,
+    cores: int,
+    override: "PlanOverride | None" = None,
 ) -> GotoPlan:
     """The memoized body of :meth:`GotoPlan.from_problem` (cores resolved)."""
+    if override is not None:
+        base = _goto_plan(machine, space, cores)
+        return GotoPlan(
+            machine,
+            space,
+            cores,
+            mc=base.mc if override.mc is None else override.mc,
+            kc=base.kc if override.kc is None else override.kc,
+            nc=base.nc if override.nc is None else override.nc,
+        )
     params = solve_goto_tiles(
         p=cores,
         llc_elements=machine.llc_elements,
@@ -294,3 +430,18 @@ def _goto_plan(
     return GotoPlan(
         machine, space, cores, mc=params.mc, kc=params.kc, nc=params.nc
     )
+
+
+def plan_cache_info() -> dict[str, object]:
+    """Hit/miss/size counters for both plan memos (for audits and tests)."""
+    return {
+        "maxsize": PLAN_MEMO_MAXSIZE,
+        "cake": _cake_plan.cache_info()._asdict(),
+        "goto": _goto_plan.cache_info()._asdict(),
+    }
+
+
+def clear_plan_memos() -> None:
+    """Drop every memoized plan (tests; never needed for correctness)."""
+    _cake_plan.cache_clear()
+    _goto_plan.cache_clear()

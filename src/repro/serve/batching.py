@@ -37,6 +37,7 @@ from dataclasses import dataclass, replace
 
 from repro.gemm.cake import CakeGemm
 from repro.gemm.goto import GotoGemm
+from repro.gemm.plan import PlanOverride
 from repro.gemm.sharded import ShardConfig, resolve_shards
 from repro.machines.spec import MachineSpec
 from repro.packing.pool import BufferPool
@@ -111,6 +112,7 @@ class EngineCache:
         shape_class: ShapeClass,
         rung: Rung,
         deadline_at: float | None = None,
+        override: "PlanOverride | None" = None,
     ):
         """An engine executing ``rung`` for this request.
 
@@ -118,7 +120,11 @@ class EngineCache:
         :class:`~repro.gemm.sharded.ShardConfig` carries the request's
         absolute deadline, so a hung shard worker is killed by the
         shard executor itself rather than stranding a dispatcher
-        thread.
+        thread. ``override`` is the class's tuned
+        :class:`~repro.gemm.plan.PlanOverride` (resolved off the
+        request path by :class:`~repro.tune.PlanService`); it is part
+        of the plain-engine cache key, so tuned and analytic engines
+        for the same class coexist while a tune is landing.
         """
         shards = resolve_shards(rung.processes)
         if shards is not None:
@@ -135,19 +141,22 @@ class EngineCache:
             shape_class.cores,
             rung.workers,
             rung.backend,
+            override,
         )
         if plain:
             with self._lock:
                 engine = self._plain.get(key)
                 if engine is not None:
                     return engine
-        engine = self._build(shape_class, rung, processes, request.verify)
+        engine = self._build(
+            shape_class, rung, processes, request.verify, override
+        )
         if plain:
             with self._lock:
                 engine = self._plain.setdefault(key, engine)
         return engine
 
-    def _build(self, shape_class, rung, processes, verify):
+    def _build(self, shape_class, rung, processes, verify, override=None):
         kwargs = dict(
             cores=shape_class.cores,
             workers=rung.workers,
@@ -155,6 +164,12 @@ class EngineCache:
             backend=rung.backend,
             processes=processes,
             pool=self.pool,
+            plan=override,
+            # Explicit False: serve engines never self-tune — the tuned
+            # override (if any) arrives via PlanService, resolved off
+            # the request path. Inheriting the process default would
+            # put a synchronous tune on a request deadline.
+            tuned=False,
         )
         if shape_class.engine == "goto":
             return GotoGemm(self.machine, **kwargs)

@@ -36,7 +36,7 @@ import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -49,7 +49,7 @@ from repro.errors import (
 from repro.gemm.backends import resolve_backend
 from repro.gemm.parallel import check_multiply_operands
 from repro.gemm.result import GemmRun
-from repro.gemm.sharded import ShardExecutionError
+from repro.gemm.sharded import ShardExecutionError, resolve_shards
 from repro.gemm.verify import NumericFaultError
 from repro.machines.presets import intel_i9_10900k
 from repro.machines.spec import MachineSpec
@@ -107,6 +107,13 @@ class ServerStats:
     p50_seconds: float
     p99_seconds: float
     pool: dict = field(default_factory=dict)
+    #: Plan-tuner counters (zero when the server runs untuned): how many
+    #: requests resolved a tuned plan, how many served analytic while a
+    #: tune was cold or in flight, and the background tune pipeline.
+    tuned_hits: int = 0
+    tuned_misses: int = 0
+    tunes_pending: int = 0
+    tunes_completed: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -129,6 +136,10 @@ class ServerStats:
             "p50_seconds": self.p50_seconds,
             "p99_seconds": self.p99_seconds,
             "pool": dict(self.pool),
+            "tuned_hits": self.tuned_hits,
+            "tuned_misses": self.tuned_misses,
+            "tunes_pending": self.tunes_pending,
+            "tunes_completed": self.tunes_completed,
         }
 
 
@@ -175,6 +186,14 @@ class MultiplyServer:
         Backoff for transient failures (default: 2 retries from 10 ms).
     stats_window:
         Completed-request latencies retained for p50/p99.
+    tune:
+        Enable tuned-plan resolution (:mod:`repro.tune`): ``True`` for
+        the default :class:`~repro.tune.TuneConfig`, or pass one. Each
+        shape class resolves its tuned plan once (memory, then the
+        on-disk plan cache); a genuinely cold class tunes on a
+        background thread **off the request path** — the analytic plan
+        serves, bit-identical, until the tuned one lands. Counters
+        surface in :meth:`stats`.
     """
 
     def __init__(
@@ -188,6 +207,7 @@ class MultiplyServer:
         default_deadline: float | None = None,
         retry_policy: RetryPolicy | None = None,
         stats_window: int = 512,
+        tune: object = False,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -208,6 +228,14 @@ class MultiplyServer:
         )
         self.pool = BufferPool()
         self.engines = EngineCache(self.machine, self.pool)
+        self.plans = None
+        if tune:
+            from repro.tune import PlanService, TuneConfig
+
+            self.plans = PlanService(
+                self.machine,
+                tune if isinstance(tune, TuneConfig) else None,
+            )
 
         self._cond = threading.Condition()
         self._queue: list[_Pending] = []
@@ -398,6 +426,7 @@ class MultiplyServer:
 
     def stats(self) -> ServerStats:
         """A consistent snapshot of queue/health/latency counters."""
+        tuner = self.plans.counters() if self.plans is not None else {}
         with self._cond:
             latencies = list(self._latencies)
             return ServerStats(
@@ -408,6 +437,7 @@ class MultiplyServer:
                 p99_seconds=_percentile(latencies, 99.0),
                 pool=self.pool.stats(),
                 **self._counters,
+                **tuner,
             )
 
     # -- dispatcher ----------------------------------------------------------
@@ -535,6 +565,17 @@ class MultiplyServer:
         rung_index = 0
         attempt_on_rung = 0
         seed = request.seed()
+        # Tuned-plan resolution is a memory/disk probe at most — a cold
+        # class tunes on a background thread and this request (plus any
+        # before the winner lands) serves the analytic plan.
+        tuned_plan = None
+        if self.plans is not None:
+            shards = resolve_shards(request.processes)
+            tuned_plan = self.plans.resolve(
+                pending.shape_class,
+                backend=resolve_backend(request.backend).name,
+                processes=1 if shards is None else shards.processes,
+            )
         while True:
             rung = rungs[rung_index]
             now = time.monotonic()
@@ -548,11 +589,20 @@ class MultiplyServer:
                 ):
                     self._count("deadline_exceeded")
                 return
+            override = tuned_plan
+            if override is not None and rung_index > 0:
+                # A degraded rung exists because the stronger profile
+                # kept failing; tuned execution knobs (extra workers)
+                # must not re-complicate it. Plan-shape fields stay —
+                # they are bit-safe and orthogonal to the failure.
+                if override.workers is not None:
+                    override = replace(override, workers=None)
             engine = self.engines.engine_for(
                 request,
                 pending.shape_class,
                 rung,
                 deadline_at=None if deadline is None else deadline.at,
+                override=override,
             )
             report.attempts += 1
             started = time.perf_counter()

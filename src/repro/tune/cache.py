@@ -1,0 +1,130 @@
+"""The persistent, versioned plan cache.
+
+Storage composes :class:`repro.runtime.cache.ResultCache` — one JSON
+file per :class:`~repro.tune.space.TuneKey` content hash, atomic
+writes, the ``cake-cache/v2`` envelope, and the ``.corrupt`` quarantine
+for unparseable files — and adds a second, *tuner-level* version gate:
+every row carries ``"tuner_schema": "cake-tune/v1"``. A row written by
+an older (or newer) tuner has a valid envelope but a different schema
+tag; applying it would execute a plan chosen under different search
+rules, so it is **quarantined to ``<key>.stale`` and reported as a
+miss** — never silently applied. The slot is immediately reusable (the
+re-tune overwrites it) and the evidence survives for postmortems, the
+same contract the envelope gives corrupt files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.gemm.plan import PlanOverride
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.tune.space import TuneKey
+
+#: Tuner-level schema tag stored in every row. Bump whenever the search
+#: space, validation rules, or row layout change; readers quarantine any
+#: other value.
+TUNER_SCHEMA = "cake-tune/v1"
+
+#: Environment variable overriding the default cache directory.
+CACHE_ENV = "CAKE_TUNE_CACHE"
+
+
+def default_cache_root() -> Path:
+    """``$CAKE_TUNE_CACHE`` or ``~/.cache/cake-tune``."""
+    import os
+
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "cake-tune"
+
+
+class PlanCache:
+    """Directory-backed map from tune key to winning plan override."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self._cache = ResultCache(self.root)
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._stale_schema = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """Merged counters: tuner-level hits/misses over envelope-level
+        corrupt/stale (an envelope-stale row and a tuner-schema-stale row
+        both count as ``stale``)."""
+        inner = self._cache.stats
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            corrupt=inner.corrupt,
+            stale=inner.stale + self._stale_schema,
+        )
+
+    def load(self, key: TuneKey) -> dict[str, Any] | None:
+        """The cached row for ``key``, or None.
+
+        Corrupt files follow the envelope's ``.corrupt`` quarantine; a
+        row whose ``tuner_schema`` is missing or unknown is quarantined
+        to ``.stale`` and misses, so stale winners are re-tuned, never
+        applied.
+        """
+        row = self._cache.load(key.key_id)
+        if row is None:
+            self._misses += 1
+            return None
+        if row.get("tuner_schema") != TUNER_SCHEMA:
+            path = self.root / f"{key.key_id}.json"
+            try:
+                path.replace(path.with_suffix(".stale"))
+            except OSError:
+                path.unlink(missing_ok=True)
+            self._stale_schema += 1
+            self._misses += 1
+            return None
+        self._hits += 1
+        return row
+
+    def store(
+        self, key: TuneKey, override: PlanOverride | None, extra: dict | None = None
+    ) -> dict[str, Any]:
+        """Persist the winning ``override`` (None = analytic plan won).
+
+        The analytic-winner marker matters: a later lookup still hits,
+        so the search is never repeated for a class where the analytic
+        plan is already the best known answer.
+        """
+        row: dict[str, Any] = {
+            "tuner_schema": TUNER_SCHEMA,
+            "key": key.as_dict(),
+            "override": None if override is None else override.as_dict(),
+        }
+        if extra:
+            row.update(extra)
+        self._cache.store(key.key_id, row)
+        self._stores += 1
+        return row
+
+    def load_override(self, key: TuneKey) -> "tuple[bool, PlanOverride | None]":
+        """``(hit, override)`` — hit with ``None`` means analytic won."""
+        row = self.load(key)
+        if row is None:
+            return False, None
+        doc = row.get("override")
+        if doc is None:
+            return True, None
+        return True, PlanOverride.from_dict(doc)
+
+    def clear(self) -> None:
+        """Remove every cached row and quarantined entry."""
+        self._cache.clear()
+        for path in self.root.glob("*.stale"):
+            path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._cache)

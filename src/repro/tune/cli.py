@@ -1,0 +1,181 @@
+"""``cake-tune``: drive the plan autotuner from the command line.
+
+Tunes one or more shapes and prints, per shape, where the answer came
+from (cache hit vs fresh search), the winning override, and the
+measured tuned-vs-analytic speedup. Winners persist in the plan cache
+(``$CAKE_TUNE_CACHE`` or ``~/.cache/cake-tune``), so a second
+invocation — or any engine constructed with ``tuned=True``, or a
+server started with ``tune=True`` — skips the search.
+
+Examples::
+
+    cake-tune 256x1024x2048
+    cake-tune 512x512x512 256x1024x2048 --engine cake --repeats 3
+    cake-tune 384x1536x3072 --cache /tmp/plans --json -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CakeError
+from repro.machines import PRESET_NAMES, preset
+from repro.tune.cache import default_cache_root
+from repro.tune.space import TuneKey
+from repro.tune.tuner import PlanTuner, TuneConfig
+
+
+def _parse_shape(text: str) -> tuple[int, int, int]:
+    parts = text.lower().replace(",", "x").split("x")
+    if len(parts) == 1:
+        parts = parts * 3  # a bare N means the NxNxN cube
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"shape must be MxNxK (or a bare N for a cube), got {text!r}"
+        )
+    try:
+        m, n, k = (int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"non-integer shape {text!r}") from None
+    if min(m, n, k) < 1:
+        raise argparse.ArgumentTypeError(f"shape extents must be >= 1: {text!r}")
+    return m, n, k
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cake-tune",
+        description="Search, validate, and cache faster-but-bit-identical "
+        "execution plans per shape.",
+    )
+    parser.add_argument(
+        "shapes",
+        type=_parse_shape,
+        nargs="+",
+        metavar="MxNxK",
+        help="one or more problem shapes (a bare N is the NxNxN cube)",
+    )
+    parser.add_argument(
+        "--engine", choices=("cake", "goto"), default="cake"
+    )
+    parser.add_argument(
+        "--machine",
+        default="intel-i9-10900k",
+        choices=PRESET_NAMES,
+        help="machine preset the plan is priced on",
+    )
+    parser.add_argument(
+        "--cores", type=int, default=None, help="modelled cores (default: all)"
+    )
+    parser.add_argument(
+        "--dtype", default="float32", help="operand dtype (default float32)"
+    )
+    parser.add_argument(
+        "--backend", default="numpy", help="compute backend to validate under"
+    )
+    parser.add_argument(
+        "--processes", type=int, default=1, help="shard processes to tune for"
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        help=f"plan cache directory (default {default_cache_root()})",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=3, help="model-ranked shapes to validate"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timed repeats per candidate"
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="re-search even on a cache hit (the fresh winner overwrites)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write result rows as JSON ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    machine = preset(args.machine)
+    config = TuneConfig(
+        cache_root=args.cache,
+        top_k=args.top_k,
+        repeats=args.repeats,
+        use_cache=not args.force,
+    )
+    tuner = PlanTuner(machine, config)
+
+    rows = []
+    for m, n, k in args.shapes:
+        key = TuneKey(
+            engine=args.engine,
+            m=m,
+            n=n,
+            k=k,
+            dtype=np.dtype(args.dtype).str,
+            machine=machine.name,
+            cores=args.cores,
+            backend=args.backend,
+            processes=args.processes,
+        )
+        try:
+            result = tuner.tune(key)
+        except CakeError as err:
+            print(f"{key.describe()}: {err}", file=sys.stderr)
+            return 1
+        speedup = result.speedup
+        winner = (
+            "analytic plan (no candidate beat it)"
+            if result.override is None
+            else json.dumps(
+                {
+                    f: v
+                    for f, v in result.override.as_dict().items()
+                    if v is not None
+                }
+            )
+        )
+        print(
+            f"{key.describe():<36s} {result.source:<6s} "
+            f"{'' if speedup is None else f'{speedup:5.2f}x ':<7s}-> {winner}"
+        )
+        rows.append(
+            {
+                "key": key.as_dict(),
+                "key_id": key.key_id,
+                "source": result.source,
+                "override": (
+                    None
+                    if result.override is None
+                    else result.override.as_dict()
+                ),
+                "analytic_seconds": result.analytic_seconds,
+                "tuned_seconds": result.tuned_seconds,
+                "speedup": speedup,
+                "validated": result.validated,
+            }
+        )
+
+    print(f"plan cache: {tuner.cache.root} ({len(tuner.cache)} entries)")
+    if args.json == "-":
+        json.dump(rows, sys.stdout, indent=2)
+        print()
+    elif args.json is not None:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(rows, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

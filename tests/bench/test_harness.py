@@ -43,7 +43,7 @@ class TestRegistry:
         expected = {
             "table2", "fig4", "fig7a", "fig7b", "fig8",
             "fig9a", "fig9b", "fig10", "fig11", "fig12",
-            "verify", "backends", "sharded", "serve",
+            "verify", "backends", "sharded", "serve", "autotune",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -73,6 +73,36 @@ class TestCli:
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "fig10" in out and "ablation-lru" in out
+
+    def test_list_describes_every_experiment(self, capsys):
+        """Each --list line carries a one-line description; the
+        autotune experiment is registered."""
+        assert main(["--list"]) == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line
+        ]
+        registry = {**EXPERIMENTS, **ABLATIONS}
+        assert len(lines) == len(registry)
+        assert "autotune" in {line.split()[0] for line in lines}
+        for line in lines:
+            name, description = line.split(None, 1)
+            assert name in registry
+            assert description.strip()
+
+    def test_list_survives_empty_docstrings(self):
+        """A generator without a docstring gets a placeholder instead of
+        an IndexError (''.splitlines()[0] was the old failure mode)."""
+        from repro.bench.cli import describe_experiment
+
+        def undocumented(scale="full", *, runtime=None):
+            pass
+
+        def blank(scale="full", *, runtime=None):
+            """   """
+
+        assert describe_experiment(undocumented) == "(no description)"
+        assert describe_experiment(blank) == "(no description)"
+        assert describe_experiment(lambda: None) == "(no description)"
 
     def test_single_experiment(self, capsys, tmp_path):
         assert main(["table2", "--out", str(tmp_path)]) == 0

@@ -251,11 +251,12 @@ class TestDegradation:
 
             class FlakyEngines:
                 def engine_for(self, request, shape_class, rung,
-                               deadline_at=None):
+                               deadline_at=None, override=None):
                     if rung.backend != "numpy":
                         return Refusing()
                     return inner.engine_for(
-                        request, shape_class, rung, deadline_at
+                        request, shape_class, rung, deadline_at,
+                        override=override,
                     )
 
             server.engines = FlakyEngines()
@@ -300,11 +301,12 @@ class TestDegradation:
 
             class FlakyEngines:
                 def engine_for(self, request, shape_class, rung,
-                               deadline_at=None):
+                               deadline_at=None, override=None):
                     if rung.workers is not None:
                         return Failing()  # the threaded rung never works
                     return inner.engine_for(
-                        request, shape_class, rung, deadline_at
+                        request, shape_class, rung, deadline_at,
+                        override=override,
                     )
 
             server.engines = FlakyEngines()

@@ -1,0 +1,116 @@
+"""The plan cache's versioning and quarantine contracts.
+
+Two independent gates protect a stored winner:
+
+* the envelope gate (``cake-cache/v2``, from
+  :mod:`repro.runtime.cache`): unparseable or wrong-envelope files are
+  quarantined to ``.corrupt``;
+* the tuner gate (``cake-tune/v1``): a structurally valid row written
+  by a different tuner schema is quarantined to ``.stale`` and reported
+  as a miss — an old winner is re-tuned, **never silently applied**.
+"""
+
+import json
+
+import pytest
+
+from repro.gemm.plan import PlanOverride
+from repro.runtime.cache import CACHE_SCHEMA
+from repro.tune.cache import TUNER_SCHEMA, PlanCache
+from repro.tune.space import TuneKey
+
+
+@pytest.fixture
+def cache(tmp_path) -> PlanCache:
+    return PlanCache(tmp_path)
+
+
+KEY = TuneKey(
+    engine="cake", m=128, n=256, k=512, dtype="<f4",
+    machine="Intel i9-10900K", cores=None, backend="numpy", processes=1,
+)
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, cache):
+        override = PlanOverride(strips=1, schedule="naive")
+        cache.store(KEY, override, {"validated": True})
+        hit, loaded = cache.load_override(KEY)
+        assert hit and loaded == override
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_analytic_marker_hits_with_none(self, cache):
+        """'The analytic plan won' is a cacheable answer: a later lookup
+        must hit (skipping the search), carrying override None."""
+        cache.store(KEY, None, {"validated": True})
+        hit, loaded = cache.load_override(KEY)
+        assert hit and loaded is None
+
+    def test_cold_key_misses(self, cache):
+        hit, loaded = cache.load_override(KEY)
+        assert not hit and loaded is None
+        assert cache.stats.misses == 1
+
+    def test_row_carries_schema_and_key(self, cache):
+        row = cache.store(KEY, PlanOverride(strips=1), None)
+        assert row["tuner_schema"] == TUNER_SCHEMA
+        assert row["key"] == KEY.as_dict()
+
+
+class TestVersionSkew:
+    def _write_row(self, cache, row: dict) -> None:
+        """Plant a row with a valid envelope but arbitrary content, as a
+        different tuner version would have written it."""
+        path = cache.root / f"{KEY.key_id}.json"
+        path.write_text(
+            json.dumps(
+                {"schema": CACHE_SCHEMA, "row": row}
+            )
+        )
+
+    def test_older_schema_quarantined_never_applied(self, cache):
+        self._write_row(
+            cache,
+            {
+                "tuner_schema": "cake-tune/v0",
+                "key": KEY.as_dict(),
+                "override": {"kc": 7},  # would be hazardous if applied
+            },
+        )
+        hit, loaded = cache.load_override(KEY)
+        assert not hit and loaded is None
+        assert (cache.root / f"{KEY.key_id}.stale").exists()
+        assert not (cache.root / f"{KEY.key_id}.json").exists()
+        assert cache.stats.stale == 1
+
+    def test_missing_schema_tag_quarantined(self, cache):
+        self._write_row(cache, {"override": {"strips": 1}})
+        hit, _ = cache.load_override(KEY)
+        assert not hit
+        assert (cache.root / f"{KEY.key_id}.stale").exists()
+
+    def test_quarantined_slot_is_reusable(self, cache):
+        """The re-tune after a skew miss overwrites the slot; the stale
+        evidence survives alongside for postmortems."""
+        self._write_row(cache, {"tuner_schema": "cake-tune/v0"})
+        assert cache.load(KEY) is None
+        cache.store(KEY, PlanOverride(strips=1), None)
+        hit, loaded = cache.load_override(KEY)
+        assert hit and loaded == PlanOverride(strips=1)
+        assert (cache.root / f"{KEY.key_id}.stale").exists()
+
+    def test_corrupt_file_follows_envelope_quarantine(self, cache):
+        path = cache.root / f"{KEY.key_id}.json"
+        path.write_text("{not json")
+        hit, _ = cache.load_override(KEY)
+        assert not hit
+        assert path.with_suffix(".corrupt").exists()
+        assert cache.stats.corrupt == 1
+
+    def test_clear_removes_rows_and_quarantine(self, cache):
+        self._write_row(cache, {"tuner_schema": "cake-tune/v0"})
+        cache.load(KEY)  # quarantines to .stale
+        cache.store(KEY, None, None)
+        cache.clear()
+        assert len(cache) == 0
+        assert not list(cache.root.glob("*.stale"))

@@ -1,0 +1,130 @@
+"""PlanService resolution tiers and the serve-layer wiring.
+
+The dispatcher's invariant: resolution is never allowed to put a tune
+on the request path — a cold class serves the analytic plan while the
+tune runs in the background, and tuned responses stay bit-identical to
+the analytic (= direct engine) answer.
+"""
+
+import numpy as np
+
+from repro.gemm.cake import CakeGemm
+from repro.serve.classifier import classify
+from repro.serve.server import MultiplyServer
+from repro.tune import PlanService, PlanTuner, TuneConfig
+
+
+def shape_class(intel, m=96, n=128, k=160):
+    a = np.zeros((m, k), dtype=np.float32)
+    b = np.zeros((k, n), dtype=np.float32)
+    return classify("cake", a, b, cores=None)
+
+
+class TestResolutionTiers:
+    def test_cold_key_returns_none_and_tunes_in_background(
+        self, intel, tmp_path
+    ):
+        service = PlanService(intel, TuneConfig(cache_root=tmp_path, repeats=1))
+        first = service.resolve(shape_class(intel))
+        assert first is None  # analytic serves while the tune is in flight
+        service.drain(timeout=60.0)
+        counters = service.counters()
+        assert counters["tunes_completed"] == 1
+        assert counters["tunes_pending"] == 0
+        assert counters["tuned_misses"] >= 1
+        # Tier 1 now answers instantly from memory.
+        service.resolve(shape_class(intel))
+        assert service.counters()["tuned_hits"] >= 1
+
+    def test_disk_hit_skips_background_tuning(self, intel, tmp_path):
+        config = TuneConfig(cache_root=tmp_path, repeats=1)
+        sc = shape_class(intel)
+        seeder = PlanService(intel, config, synchronous=True)
+        seeded = seeder.resolve(sc)
+        # A fresh service (new process, same cache dir) resolves from
+        # disk on the first call: no background thread, a hit.
+        service = PlanService(intel, config)
+        assert service.resolve(sc) == seeded
+        counters = service.counters()
+        assert counters["tuned_hits"] == 1
+        assert counters["tunes_pending"] == 0
+
+    def test_synchronous_mode_resolves_inline(self, intel, tmp_path):
+        service = PlanService(
+            intel, TuneConfig(cache_root=tmp_path, repeats=1),
+            synchronous=True,
+        )
+        service.resolve(shape_class(intel))
+        counters = service.counters()
+        assert counters["tunes_completed"] == 1
+        assert counters["tunes_pending"] == 0
+
+
+class TestServeWiring:
+    def test_tuned_server_stays_bit_identical(self, intel, rng, tmp_path):
+        a = rng.standard_normal((96, 160)).astype(np.float32)
+        b = rng.standard_normal((160, 128)).astype(np.float32)
+        reference = CakeGemm(intel, cores=1, tuned=False).multiply(a, b).c
+        config = TuneConfig(cache_root=tmp_path, repeats=1)
+        # Pre-tune the class so the second request takes the tuned path.
+        with MultiplyServer(intel, cores=1, tune=config) as server:
+            first = server.multiply(a, b)
+            assert np.array_equal(first.c, reference)
+            server.plans.drain(timeout=60.0)
+            second = server.multiply(a, b)
+            assert np.array_equal(second.c, reference)
+            stats = server.stats()
+        assert stats.tunes_completed == 1
+        assert stats.tuned_hits >= 1
+        assert stats.tuned_misses >= 1
+        assert stats.tunes_pending == 0
+
+    def test_untuned_server_reports_zero_counters(self, intel, rng):
+        a = rng.standard_normal((48, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 48)).astype(np.float32)
+        with MultiplyServer(intel, cores=1) as server:
+            server.multiply(a, b)
+            stats = server.stats()
+        assert server.plans is None
+        assert (
+            stats.tuned_hits, stats.tuned_misses,
+            stats.tunes_pending, stats.tunes_completed,
+        ) == (0, 0, 0, 0)
+
+    def test_stats_dict_carries_tuner_counters(self, intel, rng, tmp_path):
+        a = rng.standard_normal((48, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 48)).astype(np.float32)
+        with MultiplyServer(
+            intel, cores=1, tune=TuneConfig(cache_root=tmp_path, repeats=1)
+        ) as server:
+            server.multiply(a, b)
+            server.plans.drain(timeout=60.0)
+            doc = server.stats().as_dict()
+        for field in (
+            "tuned_hits", "tuned_misses", "tunes_pending", "tunes_completed",
+        ):
+            assert field in doc
+
+    def test_failed_background_tune_keeps_serving(
+        self, intel, rng, tmp_path, monkeypatch
+    ):
+        """A tuner crash must resolve the class to the analytic plan,
+        never take the server down."""
+        a = rng.standard_normal((48, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 48)).astype(np.float32)
+        reference = CakeGemm(intel, cores=1, tuned=False).multiply(a, b).c
+
+        def boom(self, key):
+            raise RuntimeError("injected tuner crash")
+
+        monkeypatch.setattr(PlanTuner, "tune", boom)
+        with MultiplyServer(
+            intel, cores=1, tune=TuneConfig(cache_root=tmp_path)
+        ) as server:
+            first = server.multiply(a, b)
+            server.plans.drain(timeout=60.0)
+            second = server.multiply(a, b)
+            stats = server.stats()
+        assert np.array_equal(first.c, reference)
+        assert np.array_equal(second.c, reference)
+        assert stats.tunes_completed == 1  # completed as analytic
