@@ -1,6 +1,6 @@
 """GEMM-as-a-service benchmark: the serving layer under load and faults.
 
-Two phases, both audited bit-for-bit:
+Three phases, all audited bit-for-bit:
 
 * **Concurrency sweep.** Closed-loop clients (1, 2, 4 by default)
   stream Fig-8 skewed multiplies through one
@@ -10,6 +10,10 @@ Two phases, both audited bit-for-bit:
   degrade, but it may not change bits. With a deadline configured,
   the p99 latency of admitted-and-completed requests must sit under
   it (the deadline machinery would have expired anything slower).
+* **Fleet sweep.** The same closed-loop load driven through the
+  supervised multi-process :class:`~repro.serve.fleet.FleetServer` at
+  one or more worker-process counts (``workers`` axis) — same contract
+  assertions, plus zero worker restarts expected under fault-free load.
 * **Fault soak.** A short :func:`~repro.serve.soak.run_soak` with
   kill/hang/bitflip/transient rules firing while traffic flows. Zero
   silent wrong answers and zero deadlocks are hard assertions; the
@@ -33,6 +37,9 @@ Environment knobs:
 ``CAKE_SERVE_SOAK_SECONDS``
     Fault-soak duration (default 6 s; CI's dedicated soak step runs
     longer).
+``CAKE_SERVE_WORKERS``
+    Comma-separated worker-process counts for the fleet phase
+    (default ``1,2``).
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ import time
 
 from repro.machines import intel_i9_10900k
 from repro.runtime import write_bench_json
+from repro.serve.fleet import FleetServer
 from repro.serve.loadgen import OperandSet, run_load
 from repro.serve.server import MultiplyServer
 from repro.serve.soak import run_soak
@@ -60,6 +68,12 @@ DEADLINE_SECONDS = (
     float(os.environ.get("CAKE_SERVE_DEADLINE_MS", "30000")) / 1000.0
 )
 SOAK_SECONDS = float(os.environ.get("CAKE_SERVE_SOAK_SECONDS", "6"))
+WORKER_LEVELS = tuple(
+    int(part)
+    for part in os.environ.get("CAKE_SERVE_WORKERS", "1,2").split(",")
+    if part.strip()
+)
+FLEET_CLIENTS = 2
 
 
 def test_serve(benchmark):
@@ -98,6 +112,34 @@ def test_serve(benchmark):
                     "pool_misses": stats.pool.get("misses", 0),
                 }
             )
+        for workers in WORKER_LEVELS:
+            with FleetServer(
+                machine,
+                workers=workers,
+                capacity=max(64, 4 * FLEET_CLIENTS),
+                worker_capacity=max(64, 4 * FLEET_CLIENTS),
+                default_deadline=DEADLINE_SECONDS,
+            ) as fleet:
+                report = run_load(
+                    fleet,
+                    operands,
+                    clients=FLEET_CLIENTS,
+                    requests_per_client=REQUESTS_PER_CLIENT,
+                    deadline=DEADLINE_SECONDS,
+                )
+                fleet_stats = fleet.stats()
+            rows.append(
+                {
+                    "phase": "fleet",
+                    "workers": workers,
+                    **report.as_dict(),
+                    "deadline_seconds": DEADLINE_SECONDS,
+                    "redispatched": fleet_stats.redispatched,
+                    "worker_restarts": fleet_stats.worker_restarts,
+                    "worker_crashes": fleet_stats.worker_crashes,
+                    "live_workers": fleet_stats.live_workers,
+                }
+            )
         soak_report.clear()
         soak_report.update(
             run_soak(
@@ -132,13 +174,14 @@ def test_serve(benchmark):
     wall = time.perf_counter() - start
 
     sweep = [row for row in rows if row["phase"] == "sweep"]
+    fleet_rows = [row for row in rows if row["phase"] == "fleet"]
     soak = next(row for row in rows if row["phase"] == "soak")
 
     # -- the serving contract, asserted at every scale ----------------------
-    for row in sweep:
+    for row in sweep + fleet_rows:
         # Every response either succeeded bit-identically or terminated
         # with a structured shed/deadline error; nothing else is legal.
-        assert row["mismatches"] == 0, f"{row['clients']} clients: bit drift"
+        assert row["mismatches"] == 0, f"{row['phase']}: bit drift"
         assert row["failed"] == 0, f"{row['clients']} clients: {row['errors']}"
         assert row["unresolved"] == 0, (
             f"{row['clients']} clients: stranded handles"
@@ -154,6 +197,12 @@ def test_serve(benchmark):
             f"{row['clients']} clients: p99 {row['p99_seconds']:.3f}s "
             f"exceeds the {DEADLINE_SECONDS:.3f}s deadline"
         )
+
+    # The process boundary is transparent under fault-free load: no
+    # crashes to recover from, so no restarts and no re-dispatches.
+    for row in fleet_rows:
+        assert row["worker_crashes"] == 0, row
+        assert row["live_workers"] == row["workers"], row
 
     # -- fault soak: the two unforgivable outcomes --------------------------
     assert soak["silent_wrong"] == 0, "soak returned a silently wrong product"
@@ -178,6 +227,7 @@ def test_serve(benchmark):
             "requests_per_client": REQUESTS_PER_CLIENT,
             "deadline_seconds": DEADLINE_SECONDS,
             "soak_seconds": SOAK_SECONDS,
+            "worker_levels": list(WORKER_LEVELS),
             "soak_variants": soak_report.get("variants", {}),
         },
     )
@@ -189,6 +239,15 @@ def test_serve(benchmark):
             f"p99={1e3 * row['p99_seconds']:7.1f}ms "
             f"{row['throughput_rps']:6.1f} req/s "
             f"coalesced={row['coalesced']} pool_hits={row['pool_hits']}"
+        )
+    for row in fleet_rows:
+        print(
+            f"\nworkers={row['workers']:<2d} clients={row['clients']:<3d} "
+            f"ok={row['ok']:<4d} shed={row['shed']:<3d} "
+            f"p50={1e3 * row['p50_seconds']:7.1f}ms "
+            f"p99={1e3 * row['p99_seconds']:7.1f}ms "
+            f"{row['throughput_rps']:6.1f} req/s "
+            f"restarts={row['worker_restarts']}"
         )
     print(
         f"\n   soak ok={soak['ok']}/{soak['requests']} "

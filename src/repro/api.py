@@ -32,6 +32,7 @@ def serve(
     default_deadline: float | None = None,
     retry_policy: RetryPolicy | None = None,
     tune: object = False,
+    workers: int = 1,
 ) -> MultiplyServer:
     """A **started** multiply server (GEMM-as-a-service front door).
 
@@ -51,7 +52,33 @@ def serve(
     shape class's plan through the persistent plan cache, tuning cold
     classes on background threads off the request path — see
     :mod:`repro.tune`.
+
+    ``workers > 1`` returns a started
+    :class:`~repro.serve.fleet.FleetServer` instead: that many
+    supervised worker *processes* (each a full ``MultiplyServer``) with
+    heartbeat liveness, capped-backoff restarts and crash-safe
+    re-dispatch — the same ``submit``/``multiply``/``stats`` surface,
+    the same bit-identity contract, surviving worker death.
     """
+    if workers > 1:
+        if tune:
+            raise ValueError(
+                "tune is per-process state; run the plan autotuner in "
+                "the single-server mode (workers=1)"
+            )
+        from repro.serve.fleet import FleetServer
+
+        return FleetServer(
+            machine,
+            workers=workers,
+            capacity=capacity,
+            worker_capacity=capacity,
+            executors=executors,
+            max_batch=max_batch,
+            cores=cores,
+            default_deadline=default_deadline,
+            retry_policy=retry_policy,
+        ).start()
     return MultiplyServer(
         machine,
         capacity=capacity,

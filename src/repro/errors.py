@@ -159,6 +159,108 @@ class DeadlineExceededError(CakeError):
         return (type(self), (self.stage, self.budget, self.elapsed))
 
 
+class FleetError(CakeError):
+    """The serving fleet, as a whole, cannot take or finish a request.
+
+    Distinct from :class:`AdmissionError` (one server's bounded queue
+    saying *not now*): a ``FleetError`` means the supervisor layer has
+    no healthy worker to hand the request to — every slot is terminal
+    after exhausting its restart budget, or the fleet was torn down
+    with work still unassigned. Like every serve-path error it is
+    pickle-safe, because it crosses the worker/supervisor process
+    boundary.
+
+    Attributes
+    ----------
+    reason:
+        ``"no-workers"`` (all worker slots terminal), ``"worker-crash"``
+        (see :class:`WorkerCrashError`), or ``"stopped"`` (fleet torn
+        down before the request could be dispatched).
+    workers:
+        Fleet size (configured worker-slot count) at the time of the
+        failure, for the operator reading the message.
+    """
+
+    def __init__(self, reason: str, message: str, workers: int = 0):
+        self.reason = reason
+        self.workers = workers
+        self._message = message
+        super().__init__(
+            f"fleet {reason}: {message} [workers={workers}]"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.reason, self._message, self.workers))
+
+
+class WorkerCrashError(FleetError):
+    """A fleet worker process died (or hung past its heartbeat) with a
+    request in flight, and the re-dispatch budget could not save it.
+
+    The supervisor re-dispatches in-flight requests from a dead worker
+    to a healthy one (bit-identity makes re-execution safe); only when
+    a request has burned through ``max_redispatch`` workers — or the
+    fleet is draining — does it surface this error instead. The
+    attributes identify the *last* worker that took the request down
+    with it.
+
+    Attributes
+    ----------
+    worker:
+        Slot index of the worker that died.
+    pid:
+        OS pid of the dead process, when known.
+    exitcode:
+        Its exit code (negative = killed by that signal), when known.
+    restarts:
+        How many times that slot had been restarted when it died.
+    request_id:
+        The content-hash request id that was in flight, or ``None``
+        when the crash is being reported for the slot itself.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        pid: "int | None" = None,
+        exitcode: "int | None" = None,
+        restarts: int = 0,
+        request_id: "str | None" = None,
+    ):
+        self.worker = worker
+        self.pid = pid
+        self.exitcode = exitcode
+        self.restarts = restarts
+        self.request_id = request_id
+        detail = f"worker {worker} (pid={pid}, exitcode={exitcode}) died"
+        if request_id is not None:
+            detail += f" holding request {request_id}"
+        detail += f" after {restarts} restart(s)"
+        super().__init__("worker-crash", detail, workers=0)
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.worker,
+                self.pid,
+                self.exitcode,
+                self.restarts,
+                self.request_id,
+            ),
+        )
+
+
+class ProtocolError(CakeError):
+    """A ``cake-serve/v1`` frame on the socket front door was malformed.
+
+    Examples: wrong magic bytes, a truncated frame, a header or blob
+    over the size limit, or a hello announcing an unknown protocol
+    version. The connection is closed after raising; the fleet behind
+    it is unaffected.
+    """
+
+
 class ScheduleError(CakeError):
     """A block schedule violates a structural invariant.
 

@@ -48,6 +48,7 @@ from repro.runtime.jsonout import (
     rows_from_report,
     write_bench_json,
 )
+from repro.runtime.restart import RestartPolicy, RestartTracker
 from repro.runtime.outcome import (
     IncompleteRunError,
     RunReport,
@@ -83,6 +84,8 @@ __all__ = [
     "bench_payload",
     "rows_from_report",
     "write_bench_json",
+    "RestartPolicy",
+    "RestartTracker",
     "IncompleteRunError",
     "RunReport",
     "TaskExecutionError",

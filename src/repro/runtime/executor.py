@@ -59,6 +59,7 @@ from typing import Any, Callable, Sequence
 
 from repro.runtime.cache import ResultCache
 from repro.runtime.faults import FaultInjector, FaultPlan, mark_worker_process
+from repro.runtime.restart import RestartPolicy, RestartTracker
 from repro.runtime.outcome import RunReport, TaskExecutionError, TaskOutcome
 from repro.runtime.task import ExperimentTask, run_task
 from repro.util import require_positive
@@ -373,24 +374,37 @@ class ExperimentRuntime:
 
         Shard results are consumed as they complete (checkpointing via
         ``record``). A crashed pool or an expired shard deadline tears
-        the pool down and rebuilds it for whatever is still unresolved;
-        after ``max_pool_rebuilds`` such events the remainder runs
-        inline.
+        the pool down and rebuilds it for whatever is still unresolved —
+        one :class:`~repro.runtime.restart.RestartTracker` ladder with a
+        zero-delay backoff; when its budget (``max_pool_rebuilds``) is
+        spent the remainder runs inline.
         """
+        tracker = RestartTracker(
+            RestartPolicy(
+                max_restarts=self.max_pool_rebuilds,
+                backoff=RetryPolicy(retries=0, base_delay=0.0, max_delay=0.0),
+                reset_after=None,
+            )
+        )
         remaining = pending
-        rebuilds = 0
         while remaining:
-            if rebuilds > self.max_pool_rebuilds:
-                counters["inline_fallbacks"] += 1
-                self._execute_inline(remaining, record)
-                return
             try:
                 self._one_pool_round(remaining, record)
             except _PoolDied as died:
-                rebuilds += 1
                 counters["pool_rebuilds"] += 1
                 if died.timed_out:
                     counters["timeouts"] += 1
+                if tracker.next_delay() is None:
+                    counters["inline_fallbacks"] += 1
+                    self._execute_inline(
+                        [
+                            (index, task)
+                            for index, task in remaining
+                            if task.task_id not in resolved
+                        ],
+                        record,
+                    )
+                    return
             remaining = [
                 (index, task)
                 for index, task in remaining

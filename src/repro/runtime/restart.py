@@ -1,0 +1,124 @@
+"""Capped-backoff restart ladders: the shared shape of self-healing.
+
+Every recovery loop in the repo follows one ladder: something crashed
+or hung → tear it down → wait a bounded, deterministically-jittered
+backoff → rebuild → and after a capped number of rebuilds stop
+pretending and fail *structured*. The experiment runtime walks it for
+broken process pools (:class:`~repro.runtime.executor.ExperimentRuntime`),
+the shard executor for killed shard workers, and the serving fleet's
+supervisor for dead or hung worker processes
+(:mod:`repro.serve.supervisor`). This module is that ladder as a
+reusable object, built on the same :class:`~repro.runtime.executor.RetryPolicy`
+backoff arithmetic the per-task retry path uses.
+
+Two pieces:
+
+* :class:`RestartPolicy` — the immutable knobs: how many restarts
+  before the terminal state, the backoff curve between them, and an
+  optional *health reset* (an incident after ``reset_after`` healthy
+  seconds starts a fresh budget, so a long-lived worker that dies once
+  a day is not marched toward terminal by sheer uptime).
+* :class:`RestartTracker` — one ladder instance's mutable state
+  (restart count), owned by whatever is being supervised. ``None``
+  from :meth:`RestartTracker.next_delay` *is* the terminal signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.runtime.executor import RetryPolicy
+
+
+def _default_backoff() -> "RetryPolicy":
+    # Imported lazily: executor.py itself builds its pool-rebuild ladder
+    # from this module, so a top-level import would be circular.
+    from repro.runtime.executor import RetryPolicy
+
+    return RetryPolicy(retries=0, base_delay=0.1, max_delay=5.0)
+
+
+@dataclass(frozen=True, slots=True)
+class RestartPolicy:
+    """Knobs for one capped-backoff restart ladder.
+
+    Attributes
+    ----------
+    max_restarts:
+        Restarts granted before :meth:`RestartTracker.next_delay`
+        returns ``None`` (the structured-terminal signal). ``0`` means
+        the first failure is terminal.
+    backoff:
+        The delay curve between restarts; only its ``base_delay``/
+        ``max_delay``/jitter arithmetic is used (``retries`` plays no
+        part — the cap lives in ``max_restarts``). A zero-delay policy
+        restarts immediately, which is what the experiment runtime's
+        pool rebuilds use.
+    reset_after:
+        Healthy seconds after which the next failure starts a fresh
+        budget (see :meth:`RestartTracker.note_healthy_seconds`);
+        ``None`` never resets — every failure over the whole lifetime
+        counts against the cap.
+    """
+
+    max_restarts: int = 5
+    backoff: RetryPolicy = field(default_factory=_default_backoff)
+    reset_after: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.reset_after is not None and self.reset_after <= 0:
+            raise ValueError(
+                f"reset_after must be positive or None, got {self.reset_after}"
+            )
+
+
+class RestartTracker:
+    """Mutable state of one restart ladder (not thread-safe; callers lock).
+
+    ``seed`` decorrelates the backoff jitter between sibling ladders
+    (e.g. fleet worker slots) exactly the way task seeds decorrelate
+    retry storms in the experiment runtime.
+    """
+
+    def __init__(self, policy: RestartPolicy, seed: int = 0) -> None:
+        self.policy = policy
+        self.seed = seed
+        self.restarts = 0
+        #: Lifetime total, never reset — for reporting, not the cap.
+        self.total_restarts = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the budget is spent (the next failure is terminal)."""
+        return self.restarts >= self.policy.max_restarts
+
+    def note_healthy_seconds(self, healthy_seconds: float) -> None:
+        """Credit a healthy stretch before the current failure.
+
+        Called when the supervised thing fails *after* running cleanly
+        for ``healthy_seconds``: past ``policy.reset_after`` the ladder
+        forgets old incidents and the new failure starts budget-fresh.
+        """
+        reset_after = self.policy.reset_after
+        if reset_after is not None and healthy_seconds >= reset_after:
+            self.restarts = 0
+
+    def next_delay(self) -> float | None:
+        """Claim one restart: the backoff to wait, or ``None`` = terminal.
+
+        Deterministic for a given ``(seed, restart-count)`` — replaying
+        a crash sequence replays its backoff schedule.
+        """
+        if self.exhausted:
+            return None
+        self.restarts += 1
+        self.total_restarts += 1
+        if self.policy.backoff.base_delay == 0:
+            return 0.0
+        return self.policy.backoff.delay(self.seed, self.restarts)

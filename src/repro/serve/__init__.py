@@ -13,6 +13,14 @@ graceful degradation ladder — with the repo-wide bit-identity
 contract intact: a served product is bit-identical to a direct
 engine call, or the request terminates with a structured error.
 
+PR 10 scales the same front door across processes:
+:class:`~repro.serve.fleet.FleetServer` runs N supervised worker
+processes (heartbeats, capped-backoff restarts, crash-safe re-dispatch
+— :mod:`repro.serve.supervisor`) behind an optional ``cake-serve/v1``
+TCP front door (:mod:`repro.serve.protocol`,
+:class:`~repro.serve.fleet.FleetFrontDoor` /
+:class:`~repro.serve.fleet.FleetClient`).
+
 Quick start::
 
     from repro.serve import MultiplyServer
@@ -23,12 +31,35 @@ Quick start::
         print(server.stats().as_dict())
 """
 
-from repro.errors import AdmissionError, DeadlineExceededError
+from repro.errors import (
+    AdmissionError,
+    DeadlineExceededError,
+    FleetError,
+    ProtocolError,
+    WorkerCrashError,
+)
 from repro.runtime.executor import RetryPolicy
+from repro.runtime.restart import RestartPolicy, RestartTracker
 from repro.serve.admission import admission_decision, retry_after_hint
 from repro.serve.batching import EngineCache, Rung, degradation_rungs
 from repro.serve.classifier import ShapeClass, classify
+from repro.serve.fleet import (
+    FleetClient,
+    FleetFrontDoor,
+    FleetServer,
+    FleetStats,
+    RemoteRun,
+)
 from repro.serve.loadgen import LoadReport, OperandSet, run_load
+from repro.serve.protocol import (
+    PROTOCOL,
+    decode_arrays,
+    decode_error,
+    encode_arrays,
+    encode_error,
+    recv_frame,
+    send_frame,
+)
 from repro.serve.request import (
     MultiplyRequest,
     ResponseHandle,
@@ -36,11 +67,33 @@ from repro.serve.request import (
     content_seed,
 )
 from repro.serve.server import MultiplyServer, ServerStats
-from repro.serve.soak import run_soak
+from repro.serve.soak import run_fleet_soak, run_soak
+from repro.serve.supervisor import CircuitBreaker, Supervisor, WorkerOptions
 
 __all__ = [
     "AdmissionError",
     "DeadlineExceededError",
+    "FleetError",
+    "ProtocolError",
+    "WorkerCrashError",
+    "RestartPolicy",
+    "RestartTracker",
+    "FleetClient",
+    "FleetFrontDoor",
+    "FleetServer",
+    "FleetStats",
+    "RemoteRun",
+    "PROTOCOL",
+    "decode_arrays",
+    "decode_error",
+    "encode_arrays",
+    "encode_error",
+    "recv_frame",
+    "send_frame",
+    "CircuitBreaker",
+    "Supervisor",
+    "WorkerOptions",
+    "run_fleet_soak",
     "RetryPolicy",
     "admission_decision",
     "retry_after_hint",

@@ -1,20 +1,27 @@
 """``cake-serve``: drive the multiply server from the command line.
 
-Two modes:
+Three modes:
 
 * default — start a server, run the closed-loop load generator over
   the Fig-8 skewed operand set for one or more client-concurrency
   levels, print a per-level summary, and exit nonzero if any response
   violated the serving contract (a bit-different product or an
-  unstructured error);
+  unstructured error). ``--workers N`` (N > 0) drives the supervised
+  multi-process fleet instead of the single in-process server;
+* ``--port P`` — serve remote clients: start a fleet of ``--workers``
+  supervised worker processes behind the ``cake-serve/v1`` socket
+  front door and block until interrupted;
 * ``--soak SECONDS`` — run the fault-injected soak instead
-  (:mod:`repro.serve.soak`) with kill/hang/bitflip rules firing while
-  traffic flows.
+  (:mod:`repro.serve.soak`); with ``--workers N`` it becomes the
+  supervisor-level fleet soak (worker processes killed and hung).
 
 Examples::
 
     cake-serve --clients 1,2,4 --requests 8 --deadline-ms 30000
+    cake-serve --workers 2 --clients 2 --requests 6
+    cake-serve --workers 2 --port 7474
     cake-serve --soak 30
+    cake-serve --workers 2 --soak 20
 """
 
 from __future__ import annotations
@@ -22,9 +29,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.machines.presets import intel_i9_10900k
+from repro.serve.fleet import FleetFrontDoor, FleetServer
 from repro.serve.loadgen import OperandSet, run_load
 from repro.serve.server import MultiplyServer
 from repro.serve.soak import main as soak_main
@@ -70,6 +79,24 @@ def main(argv: list[str] | None = None) -> int:
         "--executors", type=int, default=2, help="concurrent engine passes"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="supervised worker processes (0: single in-process server)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve remote clients on this TCP port (0: ephemeral); "
+        "implies --workers (default 2 when unset)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port (default 127.0.0.1)",
+    )
+    parser.add_argument(
         "--soak",
         type=float,
         default=None,
@@ -82,7 +109,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.soak is not None:
-        return soak_main(["--seconds", str(args.soak)])
+        soak_argv = ["--seconds", str(args.soak)]
+        if args.workers > 0:
+            soak_argv += ["--fleet", str(args.workers)]
+        return soak_main(soak_argv)
+
+    if args.port is not None:
+        return _serve_forever(args)
 
     deadline = (
         None if args.deadline_ms is None else args.deadline_ms / 1000.0
@@ -92,12 +125,8 @@ def main(argv: list[str] | None = None) -> int:
     rows = []
     violations = 0
     for clients in args.clients:
-        with MultiplyServer(
-            machine,
-            capacity=args.capacity,
-            executors=args.executors,
-            default_deadline=deadline,
-        ) as server:
+        server = _build_server(args, machine, deadline)
+        with server:
             report = run_load(
                 server,
                 operands,
@@ -107,17 +136,29 @@ def main(argv: list[str] | None = None) -> int:
             )
             stats = server.stats()
         row = {**report.as_dict(), "server": stats.as_dict()}
+        if args.workers > 0:
+            row["workers"] = args.workers
         rows.append(row)
         violations += report.mismatches + report.failed + report.unresolved
-        print(
+        line = (
             f"clients={clients:<3d} ok={report.ok:<4d} "
             f"shed={report.shed:<3d} expired={report.deadline_exceeded:<3d} "
             f"p50={1e3 * report.percentile(50):7.1f}ms "
             f"p99={1e3 * report.percentile(99):7.1f}ms "
             f"{report.throughput_rps:6.1f} req/s "
-            f"batches={stats.batches} coalesced={stats.coalesced} "
-            f"retries={stats.retries} degradations={stats.degradations}"
         )
+        if args.workers > 0:
+            line += (
+                f"workers={stats.live_workers}/{stats.workers} "
+                f"redispatched={stats.redispatched} "
+                f"restarts={stats.worker_restarts}"
+            )
+        else:
+            line += (
+                f"batches={stats.batches} coalesced={stats.coalesced} "
+                f"retries={stats.retries} degradations={stats.degradations}"
+            )
+        print(line)
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(rows, indent=2, default=str))
@@ -127,6 +168,52 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _build_server(args, machine, deadline):
+    if args.workers > 0:
+        return FleetServer(
+            machine,
+            workers=args.workers,
+            capacity=args.capacity,
+            worker_capacity=args.capacity,
+            executors=args.executors,
+            default_deadline=deadline,
+        )
+    return MultiplyServer(
+        machine,
+        capacity=args.capacity,
+        executors=args.executors,
+        default_deadline=deadline,
+    )
+
+
+def _serve_forever(args) -> int:
+    workers = args.workers if args.workers > 0 else 2
+    deadline = (
+        None if args.deadline_ms is None else args.deadline_ms / 1000.0
+    )
+    fleet = FleetServer(
+        intel_i9_10900k(),
+        workers=workers,
+        capacity=args.capacity,
+        worker_capacity=args.capacity,
+        executors=args.executors,
+        default_deadline=deadline,
+    )
+    with fleet, FleetFrontDoor(fleet, args.host, args.port) as door:
+        host, port = door.address
+        print(
+            f"cake-serve/v1 fleet: {workers} workers on {host}:{port} "
+            "(Ctrl-C to stop)",
+            flush=True,
+        )
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("draining...", flush=True)
     return 0
 
 

@@ -1,0 +1,884 @@
+"""The serving fleet: N supervised worker processes, one front door.
+
+:class:`FleetServer` scales :class:`~repro.serve.server.MultiplyServer`
+past one Python process while keeping the whole serving contract: every
+answer bit-identical to direct ``cake_matmul`` or a structured
+:class:`~repro.errors.CakeError`, every request terminating — through
+process death included. The division of labour:
+
+* Each worker process hosts an untouched ``MultiplyServer`` (admission,
+  deadlines, degradation ladder), built and supervised by
+  :class:`~repro.serve.supervisor.Supervisor`.
+* The fleet owns **routing**: a bounded fleet queue, least-loaded slot
+  choice among heartbeat-live workers whose circuit breaker allows
+  traffic, and fleet-wide backpressure — ``AdmissionError.retry_after``
+  is computed from the *aggregate* depth (fleet queue + every worker's
+  last-reported pending count).
+* The fleet owns **re-dispatch**: when a worker dies holding requests,
+  each in-flight request is either re-queued to a healthy worker (up to
+  ``max_redispatch`` times) or resolved with a structured
+  :class:`~repro.errors.WorkerCrashError`. Re-execution is safe because
+  results are bit-identical by construction, and *at-most-once-answer*
+  is enforced by first-wins :class:`~repro.serve.request.ResponseHandle`
+  resolution keyed by content-hash request ids — if a presumed-dead
+  worker's answer arrives after a re-dispatch already resolved the
+  handle, the late answer is discarded.
+* Graceful drain: ``stop(drain=True)`` waits (bounded) for in-flight
+  work, then resolves anything left with ``AdmissionError("shutdown")``
+  — a submit racing shutdown always gets a structured outcome, never a
+  hung handle.
+
+:class:`FleetFrontDoor` exposes a fleet over TCP speaking
+``cake-serve/v1`` (:mod:`repro.serve.protocol`);
+:class:`FleetClient` is the matching stdlib client.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    AdmissionError,
+    CakeError,
+    DeadlineExceededError,
+    FleetError,
+    ProtocolError,
+    WorkerCrashError,
+)
+from repro.gemm.backends import resolve_backend
+from repro.gemm.parallel import check_multiply_operands
+from repro.gemm.result import GemmRun
+from repro.runtime.deadline import Deadline
+from repro.runtime.restart import RestartPolicy
+from repro.serve.admission import admission_decision
+from repro.serve.protocol import (
+    PROTOCOL,
+    decode_arrays,
+    decode_error,
+    encode_arrays,
+    encode_error,
+    recv_frame,
+    send_frame,
+)
+from repro.serve.request import (
+    MultiplyRequest,
+    ResponseHandle,
+    ServeReport,
+    content_seed,
+)
+from repro.serve.server import _VALID_ENGINES, _percentile
+from repro.serve.supervisor import Supervisor, WorkerOptions
+
+
+@dataclass(frozen=True, slots=True)
+class FleetStats:
+    """A consistent snapshot of fleet-level health and throughput."""
+
+    workers: int
+    live_workers: int
+    workers_terminal: int
+    queue_depth: int
+    in_flight: int
+    capacity: int
+    submitted: int
+    admitted: int
+    completed: int
+    failed: int
+    shed_capacity: int
+    shed_deadline: int
+    shed_shutdown: int
+    deadline_exceeded: int
+    redispatched: int
+    worker_crashes: int
+    worker_hangs: int
+    worker_restarts: int
+    p50_seconds: float
+    p99_seconds: float
+    worker_states: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "live_workers": self.live_workers,
+            "workers_terminal": self.workers_terminal,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "capacity": self.capacity,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed_capacity": self.shed_capacity,
+            "shed_deadline": self.shed_deadline,
+            "shed_shutdown": self.shed_shutdown,
+            "deadline_exceeded": self.deadline_exceeded,
+            "redispatched": self.redispatched,
+            "worker_crashes": self.worker_crashes,
+            "worker_hangs": self.worker_hangs,
+            "worker_restarts": self.worker_restarts,
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+            "worker_states": list(self.worker_states),
+        }
+
+
+@dataclass(slots=True)
+class _FleetPending:
+    """One admitted request while it is queued or assigned."""
+
+    seq: int
+    req_id: str
+    request: MultiplyRequest
+    handle: ResponseHandle
+    enqueued_at: float
+    redispatches: int = 0
+
+
+class FleetServer:
+    """Supervised multi-process multiply service (drop-in ``submit``).
+
+    Duck-type compatible with :class:`~repro.serve.server.MultiplyServer`
+    for ``submit``/``multiply``/``stats``/``start``/``stop``, so the
+    load generator and soak harness drive either interchangeably.
+    """
+
+    def __init__(
+        self,
+        machine=None,
+        *,
+        workers: int = 2,
+        capacity: int = 64,
+        worker_capacity: int = 16,
+        executors: int = 2,
+        max_batch: int = 8,
+        cores: "int | None" = None,
+        default_deadline: "float | None" = None,
+        retry_policy=None,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float = 2.0,
+        startup_timeout: float = 120.0,
+        restart_policy: "RestartPolicy | None" = None,
+        max_redispatch: int = 2,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        max_inflight_per_worker: int = 4,
+        start_method: str = "spawn",
+        stats_window: int = 512,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_redispatch < 0:
+            raise ValueError(
+                f"max_redispatch must be >= 0, got {max_redispatch}"
+            )
+        if not 1 <= max_inflight_per_worker <= worker_capacity:
+            raise ValueError(
+                "max_inflight_per_worker must be in "
+                f"[1, worker_capacity={worker_capacity}], "
+                f"got {max_inflight_per_worker}"
+            )
+        self.workers = workers
+        self.capacity = capacity
+        self.executors = executors
+        self.default_deadline = default_deadline
+        self.max_redispatch = max_redispatch
+        self.max_inflight_per_worker = max_inflight_per_worker
+        self._options = WorkerOptions(
+            machine=machine,
+            capacity=worker_capacity,
+            executors=executors,
+            max_batch=max_batch,
+            cores=cores,
+            default_deadline=default_deadline,
+            retry_policy=retry_policy,
+        )
+        self.supervisor = Supervisor(
+            workers,
+            self._options,
+            on_message=self._on_worker_message,
+            on_down=self._on_worker_down,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            startup_timeout=startup_timeout,
+            restart_policy=restart_policy,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
+            start_method=start_method,
+        )
+        self._cond = threading.Condition()
+        self._queue: "list[_FleetPending]" = []
+        #: req_id → (slot index, pending); the fleet's in-flight map.
+        self._assigned: "dict[str, tuple[int, _FleetPending]]" = {}
+        self._seq = 0
+        self._running = False
+        self._stopping = False
+        self._dispatcher: "threading.Thread | None" = None
+        self._counters = {
+            "submitted": 0,
+            "admitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "shed_capacity": 0,
+            "shed_deadline": 0,
+            "shed_shutdown": 0,
+            "deadline_exceeded": 0,
+            "redispatched": 0,
+            "worker_crashes": 0,
+            "worker_hangs": 0,
+        }
+        self._latencies: "list[float]" = []
+        self._stats_window = stats_window
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "FleetServer":
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+            self._stopping = False
+        self.supervisor.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="cake-fleet-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self, *, drain: bool = True, timeout: "float | None" = None) -> None:
+        """Stop the fleet; every admitted handle resolves, never hangs.
+
+        ``drain=True`` waits (bounded by ``timeout``, default 30s) for
+        queued and in-flight requests to finish; whatever remains — and
+        everything when ``drain=False`` — is resolved with
+        ``AdmissionError("shutdown")`` before the workers are torn down.
+        """
+        budget = 30.0 if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        with self._cond:
+            if not self._running:
+                return
+            self._stopping = True
+            self._cond.notify_all()
+            if drain:
+                while (self._queue or self._assigned) and (
+                    time.monotonic() < deadline
+                ):
+                    self._cond.wait(timeout=0.05)
+            leftovers = [p for p in self._queue]
+            leftovers.extend(p for _, p in self._assigned.values())
+            self._queue.clear()
+            self._assigned.clear()
+            for pending in leftovers:
+                if pending.handle.resolve(
+                    error=AdmissionError(
+                        "shutdown",
+                        "fleet stopped before completion",
+                        len(leftovers),
+                        self.capacity,
+                        None,
+                    )
+                ):
+                    self._counters["shed_shutdown"] += 1
+            self._cond.notify_all()
+        self.supervisor.stop()
+        if self._dispatcher is not None:
+            self._dispatcher.join(5.0)
+        with self._cond:
+            self._running = False
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- client surface ------------------------------------------------------
+
+    def submit(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        engine: str = "cake",
+        deadline: "float | None" = None,
+        priority: int = 0,
+        verify=False,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
+        processes=None,
+    ) -> ResponseHandle:
+        """Admit one multiply fleet-wide; structured shed otherwise.
+
+        Validation runs here in the parent (same checks as
+        ``MultiplyServer.submit``), so a request that can never execute
+        is refused synchronously instead of burning a worker round trip.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if engine not in _VALID_ENGINES:
+            raise ValueError(
+                f"engine must be one of {_VALID_ENGINES}, got {engine!r}"
+            )
+        spec = resolve_backend(backend)
+        check_multiply_operands(a, b, backend=spec)
+        budget = self.default_deadline if deadline is None else deadline
+        aggregate_pending = self.supervisor.pending_total()
+        all_terminal = self.supervisor.all_terminal()
+        with self._cond:
+            self._counters["submitted"] += 1
+            if all_terminal and not self._stopping:
+                raise FleetError(
+                    "no-workers",
+                    "every worker slot exhausted its restart budget",
+                    self.workers,
+                )
+            decision = admission_decision(
+                queue_depth=len(self._queue)
+                + len(self._assigned)
+                + aggregate_pending,
+                capacity=self.capacity,
+                deadline_budget=budget,
+                executors=self.workers * self.executors,
+                service_estimate=self._p50_locked(),
+                stopping=self._stopping or not self._running,
+            )
+            if decision is not None:
+                self._counters["shed_" + decision.reason] += 1
+                raise decision
+            seq = self._seq
+            self._seq += 1
+            now = time.monotonic()
+            request = MultiplyRequest(
+                a=a,
+                b=b,
+                engine=engine,
+                deadline=budget,
+                priority=priority,
+                verify=verify,
+                backend=backend,
+                workers=workers,
+                processes=processes,
+            )
+            report = ServeReport(
+                request_id=seq,
+                engine=engine,
+                deadline=budget,
+                priority=priority,
+                backend=backend,
+                workers=workers,
+            )
+            handle = ResponseHandle(
+                request,
+                report,
+                None if budget is None else Deadline.after(budget, now=now),
+                now,
+            )
+            pending = _FleetPending(
+                seq=seq,
+                # Content-hash id: re-dispatching the same request keeps
+                # the same identity, which is what makes duplicate
+                # answers from a presumed-dead worker safely ignorable.
+                req_id=f"{seq}:{content_seed(a, b):08x}",
+                request=request,
+                handle=handle,
+                enqueued_at=now,
+            )
+            self._queue.append(pending)
+            self._counters["admitted"] += 1
+            self._cond.notify_all()
+        return handle
+
+    def multiply(self, a: np.ndarray, b: np.ndarray, **kwargs) -> GemmRun:
+        """Submit-and-wait convenience: one blocking round trip."""
+        return self.submit(a, b, **kwargs).result()
+
+    def stats(self) -> FleetStats:
+        snapshot = self.supervisor.snapshot()
+        live = sum(
+            1 for s in snapshot if s["state"] in ("ready", "starting")
+        )
+        terminal = sum(1 for s in snapshot if s["state"] == "terminal")
+        restarts = sum(s["restarts"] for s in snapshot)
+        with self._cond:
+            latencies = list(self._latencies)
+            return FleetStats(
+                workers=self.workers,
+                live_workers=live,
+                workers_terminal=terminal,
+                queue_depth=len(self._queue),
+                in_flight=len(self._assigned),
+                capacity=self.capacity,
+                p50_seconds=_percentile(latencies, 50.0),
+                p99_seconds=_percentile(latencies, 99.0),
+                worker_restarts=restarts,
+                worker_states=snapshot,
+                **self._counters,
+            )
+
+    # -- chaos passthroughs (fault injection for soak/tests) -----------------
+
+    def kill_worker(self, index: int) -> None:
+        self.supervisor.kill_worker(index)
+
+    def hang_worker(self, index: int, seconds: float) -> None:
+        self.supervisor.hang_worker(index, seconds)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _p50_locked(self) -> "float | None":
+        if not self._latencies:
+            return None
+        return _percentile(self._latencies, 50.0)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._stopping and not self._queue:
+                    return
+                if not self._queue:
+                    self._cond.wait(timeout=0.05)
+                    continue
+                now = time.monotonic()
+                self._expire_queued_locked(now)
+                if not self._queue:
+                    continue
+                if self.supervisor.all_terminal():
+                    # No worker will ever come back: fail queued work
+                    # structurally instead of letting deadlines burn.
+                    for pending in self._queue:
+                        error = self.supervisor.slot_error(0) or FleetError(
+                            "no-workers",
+                            "every worker slot exhausted its restart "
+                            "budget",
+                            self.workers,
+                        )
+                        if pending.handle.resolve(error=error):
+                            self._counters["failed"] += 1
+                    self._queue.clear()
+                    self._cond.notify_all()
+                    continue
+                slot = self._pick_slot_locked(now)
+                if slot is None:
+                    self._cond.wait(timeout=0.02)
+                    continue
+                pending = self._pop_next_locked()
+                self._assigned[pending.req_id] = (slot, pending)
+            # Send outside the fleet lock: pipes can block.
+            if not self._dispatch_one(slot, pending):
+                with self._cond:
+                    # The worker died between pick and send; requeue
+                    # without burning the re-dispatch budget (the
+                    # request never reached a worker).
+                    if self._assigned.pop(pending.req_id, None) is not None:
+                        self._queue.insert(0, pending)
+                        self._cond.notify_all()
+
+    def _expire_queued_locked(self, now: float) -> None:
+        kept = []
+        for pending in self._queue:
+            if pending.handle.expired(now):
+                if pending.handle.resolve(
+                    error=DeadlineExceededError(
+                        "queue",
+                        budget=pending.request.deadline,
+                        elapsed=now - pending.enqueued_at,
+                    )
+                ):
+                    self._counters["deadline_exceeded"] += 1
+            else:
+                kept.append(pending)
+        if len(kept) != len(self._queue):
+            self._queue[:] = kept
+            self._cond.notify_all()
+
+    def _pick_slot_locked(self, now: float) -> "int | None":
+        """Least-loaded READY worker whose breaker admits traffic."""
+        loads: "dict[int, int]" = {}
+        for index, _ in self._assigned.values():
+            loads[index] = loads.get(index, 0) + 1
+        best = None
+        best_load = None
+        for index in self.supervisor.ready_indices():
+            if not self.supervisor.breaker(index).allows(now):
+                continue
+            load = loads.get(index, 0)
+            if load >= self.max_inflight_per_worker:
+                continue
+            if best_load is None or load < best_load:
+                best, best_load = index, load
+        return best
+
+    def _pop_next_locked(self) -> _FleetPending:
+        best = 0
+        for i in range(1, len(self._queue)):
+            if self._queue[i].request.priority > self._queue[best].request.priority:
+                best = i
+        return self._queue.pop(best)
+
+    def _dispatch_one(self, slot: int, pending: _FleetPending) -> bool:
+        request = pending.request
+        remaining = None
+        if pending.handle.deadline is not None:
+            remaining = pending.handle.deadline.remaining()
+        payload = {
+            "a": request.a,
+            "b": request.b,
+            "engine": request.engine,
+            "deadline": remaining,
+            "priority": request.priority,
+            "verify": request.verify,
+            "backend": request.backend,
+            "workers": request.workers,
+            "processes": request.processes,
+        }
+        return self.supervisor.send_exec(slot, pending.req_id, payload)
+
+    # -- supervisor callbacks ------------------------------------------------
+
+    def _on_worker_message(self, index: int, msg) -> None:
+        if msg[0] != "result":
+            return
+        req_id, status, payload = msg[1], msg[2], msg[3]
+        with self._cond:
+            entry = self._assigned.pop(req_id, None)
+            if entry is None:
+                # Late duplicate: a presumed-dead worker answered after
+                # re-dispatch. First-wins resolution already guarantees
+                # at-most-once-answer; nothing to do.
+                return
+            _, pending = entry
+            self.supervisor.breaker(index).record_success()
+            if status == "ok":
+                run = payload
+                if pending.handle.expired():
+                    if pending.handle.resolve(
+                        error=DeadlineExceededError(
+                            "result-wait",
+                            budget=pending.request.deadline,
+                            elapsed=time.monotonic() - pending.enqueued_at,
+                        )
+                    ):
+                        self._counters["deadline_exceeded"] += 1
+                elif pending.handle.resolve(run=run):
+                    self._counters["completed"] += 1
+                    self._latencies.append(
+                        time.monotonic() - pending.enqueued_at
+                    )
+                    del self._latencies[: -self._stats_window]
+            else:
+                error = payload
+                if isinstance(error, AdmissionError) and error.reason == (
+                    "deadline"
+                ):
+                    # The worker's own admission shed it for a spent
+                    # budget: surface the fleet-level truth (the budget
+                    # ran out in transit/queue), not a nested admission.
+                    error = DeadlineExceededError(
+                        "queue",
+                        budget=pending.request.deadline,
+                        elapsed=time.monotonic() - pending.enqueued_at,
+                    )
+                if isinstance(
+                    error, AdmissionError
+                ) and error.reason == "capacity":
+                    # Worker queue full (fleet raced its own view of
+                    # pending depth): retry on another worker rather
+                    # than failing the client.
+                    if not self._stopping:
+                        self._queue.insert(0, pending)
+                        self._assigned.pop(req_id, None)
+                        self._cond.notify_all()
+                        return
+                if pending.handle.resolve(error=error):
+                    if isinstance(error, DeadlineExceededError):
+                        self._counters["deadline_exceeded"] += 1
+                    else:
+                        self._counters["failed"] += 1
+            self._cond.notify_all()
+
+    def _on_worker_down(
+        self, index: int, cause: str, error: WorkerCrashError, terminal: bool
+    ) -> None:
+        """Re-dispatch or structurally fail a dead worker's requests."""
+        with self._cond:
+            if cause == "hang":
+                self._counters["worker_hangs"] += 1
+            else:
+                self._counters["worker_crashes"] += 1
+            self.supervisor.breaker(index).record_failure()
+            victims = [
+                (req_id, pending)
+                for req_id, (slot, pending) in self._assigned.items()
+                if slot == index
+            ]
+            for req_id, pending in victims:
+                self._assigned.pop(req_id, None)
+                if pending.handle.done():
+                    continue
+                if pending.handle.expired():
+                    if pending.handle.resolve(
+                        error=DeadlineExceededError(
+                            "execute",
+                            budget=pending.request.deadline,
+                            elapsed=time.monotonic() - pending.enqueued_at,
+                        )
+                    ):
+                        self._counters["deadline_exceeded"] += 1
+                    continue
+                if (
+                    pending.redispatches < self.max_redispatch
+                    and not self._stopping
+                ):
+                    pending.redispatches += 1
+                    self._counters["redispatched"] += 1
+                    self._queue.insert(0, pending)
+                    continue
+                crash = WorkerCrashError(
+                    worker=error.worker,
+                    pid=error.pid,
+                    exitcode=error.exitcode,
+                    restarts=error.restarts,
+                    request_id=pending.req_id,
+                )
+                if pending.handle.resolve(error=crash):
+                    self._counters["failed"] += 1
+            self._cond.notify_all()
+
+
+# -- socket front door -------------------------------------------------------
+
+
+class _FrontDoorHandler(socketserver.BaseRequestHandler):
+    """One connection: hello handshake, then exec frames until EOF."""
+
+    def handle(self) -> None:  # noqa: C901 - linear protocol walk
+        sock = self.request
+        fleet: FleetServer = self.server.fleet  # type: ignore[attr-defined]
+        try:
+            frame = recv_frame(sock)
+            if frame is None:
+                return
+            header, _ = frame
+            if header.get("kind") != "hello" or header.get("proto") != (
+                PROTOCOL
+            ):
+                raise ProtocolError(
+                    f"expected hello for {PROTOCOL}, got {header!r}"
+                )
+            send_frame(
+                sock,
+                {
+                    "kind": "hello",
+                    "proto": PROTOCOL,
+                    "workers": fleet.workers,
+                },
+            )
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    return
+                header, blob = frame
+                if header.get("kind") != "exec":
+                    raise ProtocolError(
+                        f"unexpected frame kind {header.get('kind')!r}"
+                    )
+                self._serve_one(sock, fleet, header, blob)
+        except ProtocolError as exc:
+            self._try_send_error(sock, exc)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+
+    def _serve_one(
+        self, sock, fleet: FleetServer, header: dict, blob: bytes
+    ) -> None:
+        remote_id = header.get("id")
+        try:
+            a, b = decode_arrays(header["arrays"], blob)
+            handle = fleet.submit(
+                a,
+                b,
+                engine=header.get("engine", "cake"),
+                deadline=header.get("deadline"),
+                priority=int(header.get("priority", 0)),
+                backend=header.get("backend"),
+                workers=header.get("workers"),
+            )
+            run = handle.result(
+                timeout=self.server.result_timeout  # type: ignore[attr-defined]
+            )
+        except ProtocolError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - crosses the wire
+            send_frame(
+                sock,
+                {"kind": "error", "id": remote_id, "error": encode_error(exc)},
+            )
+            return
+        manifest, out_blob = encode_arrays([run.c])
+        send_frame(
+            sock,
+            {
+                "kind": "result",
+                "id": remote_id,
+                "arrays": manifest,
+                "report": handle.report.as_dict(),
+            },
+            out_blob,
+        )
+
+    def _try_send_error(self, sock, exc: BaseException) -> None:
+        try:
+            send_frame(sock, {"kind": "error", "error": encode_error(exc)})
+        except OSError:
+            pass
+
+
+class FleetFrontDoor:
+    """TCP front door for a fleet, speaking ``cake-serve/v1``.
+
+    Thread-per-connection (stdlib :class:`socketserver`); each request
+    frame blocks its connection until the fleet resolves the handle, so
+    concurrency comes from concurrent connections — matching the
+    one-multiply-at-a-time shape of the client API.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        result_timeout: float = 300.0,
+    ) -> None:
+        class _Server(socketserver.ThreadingTCPServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        self.fleet = fleet
+        self._server = _Server((host, port), _FrontDoorHandler)
+        self._server.fleet = fleet  # type: ignore[attr-defined]
+        self._server.result_timeout = result_timeout  # type: ignore[attr-defined]
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return self._server.server_address[:2]
+
+    def start(self) -> "FleetFrontDoor":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="cake-fleet-frontdoor",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    def __enter__(self) -> "FleetFrontDoor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteRun:
+    """What a remote multiply returns: the product + the serve report."""
+
+    c: np.ndarray
+    report: dict
+
+
+class FleetClient:
+    """Stdlib TCP client for :class:`FleetFrontDoor`.
+
+    One connection, sequential requests; structured serve errors are
+    rebuilt client-side as the same exception types the in-process API
+    raises (:func:`repro.serve.protocol.decode_error`).
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 300.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._seq = 0
+        send_frame(self._sock, {"kind": "hello", "proto": PROTOCOL})
+        frame = recv_frame(self._sock)
+        if frame is None:
+            raise ProtocolError("server closed during hello")
+        header, _ = frame
+        if header.get("kind") == "error":
+            raise decode_error(header["error"])
+        if header.get("proto") != PROTOCOL:
+            raise ProtocolError(
+                f"server speaks {header.get('proto')!r}, want {PROTOCOL!r}"
+            )
+
+    def multiply(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        engine: str = "cake",
+        deadline: "float | None" = None,
+        priority: int = 0,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
+    ) -> RemoteRun:
+        self._seq += 1
+        manifest, blob = encode_arrays([np.asarray(a), np.asarray(b)])
+        send_frame(
+            self._sock,
+            {
+                "kind": "exec",
+                "id": self._seq,
+                "arrays": manifest,
+                "engine": engine,
+                "deadline": deadline,
+                "priority": priority,
+                "backend": backend,
+                "workers": workers,
+            },
+            blob,
+        )
+        frame = recv_frame(self._sock)
+        if frame is None:
+            raise ProtocolError("server closed before responding")
+        header, out_blob = frame
+        if header.get("kind") == "error":
+            raise decode_error(header["error"])
+        if header.get("kind") != "result":
+            raise ProtocolError(
+                f"unexpected frame kind {header.get('kind')!r}"
+            )
+        (c,) = decode_arrays(header["arrays"], out_blob)
+        return RemoteRun(c=c, report=header.get("report", {}))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

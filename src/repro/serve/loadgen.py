@@ -121,7 +121,7 @@ class LoadReport:
 
 
 def run_load(
-    server: MultiplyServer,
+    server: "MultiplyServer",
     operands: OperandSet,
     *,
     clients: int,
@@ -131,6 +131,11 @@ def run_load(
     result_timeout: float = 120.0,
 ) -> LoadReport:
     """Drive ``clients`` threads of traffic and audit every response.
+
+    ``server`` is anything with the ``submit()`` front-door contract —
+    a :class:`~repro.serve.server.MultiplyServer` or a
+    :class:`~repro.serve.fleet.FleetServer` (the multi-process fleet is
+    audited by the same closed loop, bit for bit).
 
     Each client cycles through the operand set, submits, then blocks
     on the handle — a closed-loop client, so concurrency equals the

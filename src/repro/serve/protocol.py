@@ -1,0 +1,233 @@
+"""``cake-serve/v1``: the length-prefixed frame protocol of the front door.
+
+The fleet's socket front door (:class:`repro.serve.fleet.FleetFrontDoor`)
+speaks a deliberately boring wire format — stdlib only, versioned, and
+strict about malformed input so a confused client gets a structured
+:class:`~repro.errors.ProtocolError` instead of a hang:
+
+``frame = MAGIC(4) | header_len(u32) | blob_len(u32) | header | blob``
+
+* ``MAGIC`` is ``b"CKS1"`` — wrong magic means the peer is not speaking
+  this protocol at all, and the connection is dropped immediately.
+* ``header`` is UTF-8 JSON (kind, request metadata, array manifests,
+  error payloads). Bounded by :data:`MAX_HEADER_BYTES`.
+* ``blob`` is raw little-endian array bytes, concatenated in manifest
+  order. Bounded by :data:`MAX_BLOB_BYTES`. Operands and results travel
+  here so bit-identity survives the wire: the bytes a client receives
+  are exactly the bytes the worker's ``cake_matmul`` produced.
+
+Errors cross the wire as a small per-type field table
+(:func:`encode_error` / :func:`decode_error`) so the structured serve
+exceptions — admission decisions with ``retry_after``, deadline stages,
+worker-crash forensics — arrive as the *same* exception types the
+in-process API raises, not stringly-typed husks.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+from repro.errors import (
+    AdmissionError,
+    BackendCapabilityError,
+    CakeError,
+    DeadlineExceededError,
+    FleetError,
+    ProtocolError,
+    WorkerCrashError,
+)
+
+#: Protocol name/version announced in the hello handshake.
+PROTOCOL = "cake-serve/v1"
+
+#: Frame magic: 'CKS' + protocol major version.
+MAGIC = b"CKS1"
+
+#: network byte order: magic, header length, blob length.
+_PREFIX = struct.Struct("!4sII")
+
+#: JSON headers are metadata; a megabyte is already absurd.
+MAX_HEADER_BYTES = 1 << 20
+
+#: Operand/result payloads; 1 GiB bounds memory per connection.
+MAX_BLOB_BYTES = 1 << 30
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary.
+
+    EOF *mid-read* is a truncated frame and raises
+    :class:`ProtocolError` — the peer died mid-sentence.
+    """
+    if n == 0:
+        return b""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"truncated frame: expected {n} bytes, got {got} before EOF"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, header: dict, blob: bytes = b"") -> None:
+    """Send one frame: prefix + JSON header + raw blob."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"outgoing header too large: {len(header_bytes)} bytes"
+        )
+    if len(blob) > MAX_BLOB_BYTES:
+        raise ProtocolError(f"outgoing blob too large: {len(blob)} bytes")
+    sock.sendall(
+        _PREFIX.pack(MAGIC, len(header_bytes), len(blob)) + header_bytes + blob
+    )
+
+
+def recv_frame(sock: socket.socket) -> "tuple[dict, bytes] | None":
+    """Receive one frame; ``None`` on clean EOF before any bytes.
+
+    Raises :class:`ProtocolError` for wrong magic, truncation,
+    over-limit lengths, or an unparsable header.
+    """
+    prefix = _read_exact(sock, _PREFIX.size)
+    if prefix is None:
+        return None
+    magic, header_len, blob_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (want {MAGIC!r})")
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header length {header_len} over limit")
+    if blob_len > MAX_BLOB_BYTES:
+        raise ProtocolError(f"blob length {blob_len} over limit")
+    header_bytes = _read_exact(sock, header_len)
+    if header_bytes is None:
+        raise ProtocolError("truncated frame: EOF before header")
+    blob = _read_exact(sock, blob_len)
+    if blob is None:
+        raise ProtocolError("truncated frame: EOF before blob")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparsable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return header, blob
+
+
+def encode_arrays(arrays: "list[np.ndarray]") -> "tuple[list[dict], bytes]":
+    """Manifest + concatenated C-order bytes for a list of arrays."""
+    manifest = []
+    parts = []
+    for array in arrays:
+        contiguous = np.ascontiguousarray(array)
+        manifest.append(
+            {"dtype": str(contiguous.dtype), "shape": list(contiguous.shape)}
+        )
+        parts.append(contiguous.tobytes())
+    return manifest, b"".join(parts)
+
+
+def decode_arrays(manifest: "list[dict]", blob: bytes) -> "list[np.ndarray]":
+    """Rebuild writable arrays from a manifest and the blob bytes."""
+    arrays = []
+    offset = 0
+    for entry in manifest:
+        try:
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(s) for s in entry["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed array manifest entry: {exc}")
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(blob):
+            raise ProtocolError(
+                f"array manifest overruns blob: need {offset + nbytes} "
+                f"bytes, have {len(blob)}"
+            )
+        # frombuffer on a bytearray copy keeps the result writable, so
+        # callers can hand it straight to engines that refuse read-only
+        # operands.
+        flat = np.frombuffer(
+            bytearray(blob[offset:offset + nbytes]), dtype=dtype
+        )
+        arrays.append(flat.reshape(shape))
+        offset += nbytes
+    if offset != len(blob):
+        raise ProtocolError(
+            f"blob has {len(blob) - offset} trailing bytes past manifest"
+        )
+    return arrays
+
+
+# Per-type field tables: which constructor args travel for each serve
+# exception. Anything not listed degrades to a generic CakeError that
+# still names the original type.
+_ERROR_FIELDS: "dict[str, tuple]" = {
+    "AdmissionError": (
+        AdmissionError,
+        lambda e: (e.reason, e._message, e.queue_depth, e.capacity,
+                   e.retry_after),
+    ),
+    "DeadlineExceededError": (
+        DeadlineExceededError,
+        lambda e: (e.stage, e.budget, e.elapsed),
+    ),
+    "FleetError": (
+        FleetError,
+        lambda e: (e.reason, e._message, e.workers),
+    ),
+    "WorkerCrashError": (
+        WorkerCrashError,
+        lambda e: (e.worker, e.pid, e.exitcode, e.restarts, e.request_id),
+    ),
+    "BackendCapabilityError": (
+        BackendCapabilityError,
+        lambda e: (
+            e.backend,
+            e._message,
+            None if e.dtype is None else str(np.dtype(e.dtype)),
+        ),
+    ),
+    "ProtocolError": (ProtocolError, lambda e: (str(e),)),
+    "ValueError": (ValueError, lambda e: (str(e),)),
+    "TypeError": (TypeError, lambda e: (str(e),)),
+}
+
+
+def encode_error(exc: BaseException) -> dict:
+    """JSON-safe payload for an exception, preserving structured fields."""
+    name = type(exc).__name__
+    entry = _ERROR_FIELDS.get(name)
+    if entry is not None:
+        try:
+            return {"type": name, "args": list(entry[1](exc))}
+        except Exception:  # pragma: no cover - defensive
+            pass
+    return {"type": name, "message": str(exc)}
+
+
+def decode_error(payload: dict) -> BaseException:
+    """Rebuild the exception an :func:`encode_error` payload describes."""
+    name = payload.get("type", "CakeError")
+    entry = _ERROR_FIELDS.get(name)
+    if entry is not None and "args" in payload:
+        cls, _ = entry
+        args = list(payload["args"])
+        if cls is BackendCapabilityError and args[2] is not None:
+            args[2] = np.dtype(args[2])
+        try:
+            return cls(*args)
+        except Exception:  # pragma: no cover - defensive
+            pass
+    return CakeError(f"{name}: {payload.get('message', '')}")

@@ -424,6 +424,16 @@ class MultiplyServer:
         """Submit-and-wait convenience: one blocking round trip."""
         return self.submit(a, b, **kwargs).result()
 
+    def pending_count(self) -> int:
+        """Queued + in-flight requests — the fleet heartbeat payload.
+
+        The supervisor polls this through the worker control channel so
+        fleet-wide backpressure (``AdmissionError.retry_after``) can
+        reflect aggregate depth, not just the front door's own queue.
+        """
+        with self._cond:
+            return len(self._queue) + self._in_flight
+
     def stats(self) -> ServerStats:
         """A consistent snapshot of queue/health/latency counters."""
         tuner = self.plans.counters() if self.plans is not None else {}

@@ -1,0 +1,170 @@
+"""Tests for the ``cake-serve/v1`` frame protocol.
+
+The wire format is the trust boundary of the fleet: a malformed peer
+must produce a structured :class:`~repro.errors.ProtocolError`, never a
+hang or a silently-truncated array, and structured serve errors must
+arrive client-side as the *same* exception types with their payloads
+intact. Everything here runs over a local socketpair — no fleet, no
+processes — so it pins the codec alone.
+"""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    BackendCapabilityError,
+    CakeError,
+    DeadlineExceededError,
+    FleetError,
+    ProtocolError,
+    WorkerCrashError,
+)
+from repro.serve.protocol import (
+    MAGIC,
+    MAX_HEADER_BYTES,
+    decode_arrays,
+    decode_error,
+    encode_arrays,
+    encode_error,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFrames:
+    def test_round_trip_header_and_blob(self, pair):
+        left, right = pair
+        send_frame(left, {"kind": "exec", "id": 7}, b"payload-bytes")
+        header, blob = recv_frame(right)
+        assert header == {"kind": "exec", "id": 7}
+        assert blob == b"payload-bytes"
+
+    def test_empty_blob(self, pair):
+        left, right = pair
+        send_frame(left, {"kind": "hello"})
+        header, blob = recv_frame(right)
+        assert header["kind"] == "hello"
+        assert blob == b""
+
+    def test_clean_eof_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+    def test_bad_magic_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.pack("!4sII", b"XXXX", 2, 0) + b"{}")
+        with pytest.raises(ProtocolError, match="magic"):
+            recv_frame(right)
+
+    def test_truncated_frame_raises(self, pair):
+        left, right = pair
+        # Announce a 64-byte header but send only 3 bytes before EOF.
+        left.sendall(struct.pack("!4sII", MAGIC, 64, 0) + b"{..")
+        left.close()
+        with pytest.raises(ProtocolError, match="truncated"):
+            recv_frame(right)
+
+    def test_oversized_header_rejected_without_reading_it(self, pair):
+        left, right = pair
+        left.sendall(struct.pack("!4sII", MAGIC, MAX_HEADER_BYTES + 1, 0))
+        with pytest.raises(ProtocolError, match="over limit"):
+            recv_frame(right)
+
+    def test_unparsable_header_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.pack("!4sII", MAGIC, 3, 0) + b"{{{")
+        with pytest.raises(ProtocolError, match="unparsable"):
+            recv_frame(right)
+
+    def test_sequential_frames(self, pair):
+        left, right = pair
+        for i in range(3):
+            send_frame(left, {"i": i}, bytes([i]) * i)
+        for i in range(3):
+            header, blob = recv_frame(right)
+            assert header["i"] == i
+            assert blob == bytes([i]) * i
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_round_trip_preserves_bits(self, rng, dtype):
+        a = rng.standard_normal((5, 9)).astype(dtype)
+        b = rng.standard_normal((9, 3)).astype(dtype)
+        manifest, blob = encode_arrays([a, b])
+        out_a, out_b = decode_arrays(manifest, blob)
+        assert np.array_equal(out_a, a) and out_a.dtype == a.dtype
+        assert np.array_equal(out_b, b) and out_b.dtype == b.dtype
+
+    def test_fortran_order_input_arrives_equal(self, rng):
+        a = np.asfortranarray(rng.standard_normal((4, 6)).astype(np.float32))
+        (out,) = decode_arrays(*encode_arrays([a]))
+        assert np.array_equal(out, a)
+
+    def test_decoded_arrays_are_writable(self, rng):
+        a = rng.standard_normal((3, 3)).astype(np.float32)
+        (out,) = decode_arrays(*encode_arrays([a]))
+        out[0, 0] = 42.0  # would raise on a read-only frombuffer view
+
+    def test_blob_overrun_is_structured(self):
+        manifest = [{"dtype": "float32", "shape": [4, 4]}]
+        with pytest.raises(ProtocolError, match="overruns"):
+            decode_arrays(manifest, b"\x00" * 8)
+
+    def test_trailing_bytes_are_structured(self, rng):
+        a = rng.standard_normal((2, 2)).astype(np.float32)
+        manifest, blob = encode_arrays([a])
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_arrays(manifest, blob + b"\x00")
+
+
+class TestErrorCodec:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AdmissionError(
+                "capacity", "queue is full", queue_depth=8, capacity=8,
+                retry_after=0.25,
+            ),
+            AdmissionError("shutdown", "server is stopping", 0, 4, None),
+            DeadlineExceededError("queue", budget=0.5, elapsed=0.7),
+            FleetError("no-workers", "all slots terminal", workers=3),
+            WorkerCrashError(
+                worker=1, pid=777, exitcode=-9, restarts=2,
+                request_id="4:cafef00d",
+            ),
+            ProtocolError("bad frame magic"),
+            BackendCapabilityError(
+                "torch", "needs float32", np.dtype(np.float16)
+            ),
+            ValueError("engine must be one of ('cake', 'goto')"),
+            TypeError("operands must be 2-D"),
+        ],
+        ids=lambda exc: type(exc).__name__,
+    )
+    def test_structured_errors_survive_the_wire(self, exc):
+        clone = decode_error(encode_error(exc))
+        assert type(clone) is type(exc)
+        assert str(clone) == str(exc)
+        for name, value in vars(exc).items():
+            assert getattr(clone, name) == value, name
+
+    def test_unknown_type_degrades_to_cake_error(self):
+        payload = encode_error(RuntimeError("something odd"))
+        clone = decode_error(payload)
+        assert isinstance(clone, CakeError)
+        assert "RuntimeError" in str(clone)
+        assert "something odd" in str(clone)

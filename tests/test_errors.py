@@ -11,8 +11,11 @@ from repro.errors import (
     CakeError,
     ConfigurationError,
     DeadlineExceededError,
+    FleetError,
+    ProtocolError,
     ScheduleError,
     SimulationError,
+    WorkerCrashError,
 )
 from repro.gemm.sharded import ShardExecutionError
 from repro.gemm.verify import IdentityFailure, NumericFaultError
@@ -75,6 +78,15 @@ _EXAMPLES = {
     DeadlineExceededError: lambda: DeadlineExceededError(
         "shard", budget=1.5, elapsed=2.75
     ),
+    FleetError: lambda: FleetError(
+        "no-workers", "every slot exhausted its restart budget",
+        workers=4,
+    ),
+    WorkerCrashError: lambda: WorkerCrashError(
+        worker=2, pid=4242, exitcode=-9, restarts=3,
+        request_id="17:0badc0de",
+    ),
+    ProtocolError: lambda: ProtocolError("bad frame magic b'XXXX'"),
     NumericFaultError: lambda: NumericFaultError(
         "CB(1, 2, 3)", (1, 2, 3),
         IdentityFailure(
@@ -151,6 +163,20 @@ class TestPickleRoundTrip:
         assert clone.dtype == np.dtype(np.float64)
         assert clone.backend == "torch"
         assert isinstance(clone, TypeError)  # dual inheritance intact
+
+    def test_worker_crash_forensics_survive(self):
+        # The attributes the fleet operator actually reads — which slot,
+        # which pid, which signal, how many restarts, which request —
+        # must cross the supervisor/worker process boundary intact.
+        original = WorkerCrashError(
+            worker=1, pid=31337, exitcode=-9, restarts=2,
+            request_id="3:deadbeef",
+        )
+        clone = pickle.loads(pickle.dumps(original))
+        assert (clone.worker, clone.pid, clone.exitcode) == (1, 31337, -9)
+        assert clone.restarts == 2
+        assert clone.request_id == "3:deadbeef"
+        assert isinstance(clone, FleetError)  # catchable as the family
 
     def test_task_execution_error_keeps_outcome(self):
         clone = pickle.loads(
